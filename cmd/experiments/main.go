@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run table5            # one experiment
+//	experiments -run all               # everything
+//	experiments -run figure5 -hosts 20000
+//
+// Scale knobs: -hosts controls the synthetic corpus size (Figures 5/6,
+// Table 8); -scale divides the blacklist/dataset sizes (Tables 9-12).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sbprivacy/internal/corpus"
+	"sbprivacy/internal/exp"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id     = flag.String("run", "all", "experiment id or 'all'; known: "+fmt.Sprint(exp.IDs()))
+		hosts  = flag.Int("hosts", 3000, "synthetic corpus hosts per profile")
+		scale  = flag.Int("scale", 100, "blacklist scale divisor")
+		seed   = flag.Int64("seed", 2015, "generation seed")
+		csvDir = flag.String("csv", "", "directory to write the per-host Figure 5/6 series as CSV")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Hosts: *hosts, Scale: *scale, Seed: *seed}
+	var results []*exp.Result
+	if *id == "all" {
+		var err error
+		results, err = exp.RunAll(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+	} else {
+		r, err := exp.Run(*id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		results = append(results, r)
+	}
+	for _, r := range results {
+		fmt.Printf("=== %s: %s ===\n%s\n", r.ID, r.Title, r.Text)
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVSeries(*csvDir, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: csv: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote figure series CSVs to %s\n", *csvDir)
+	}
+	return 0
+}
+
+// writeCSVSeries regenerates the full per-host series of Figures 5 and 6
+// for both profiles, one CSV per (figure, profile).
+func writeCSVSeries(dir string, cfg exp.Config) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, profile := range []corpus.Profile{corpus.ProfileAlexa, corpus.ProfileRandom} {
+		c, err := corpus.Generate(corpus.Config{Profile: profile, Hosts: cfg.Hosts, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		stats := corpus.ComputeStats(c, corpus.StatsOptions{PrefixBits: 16})
+		for figure, write := range map[string]func(*corpus.DatasetStats, *os.File) error{
+			"figure5": func(ds *corpus.DatasetStats, f *os.File) error { return ds.WriteFigure5CSV(f) },
+			"figure6": func(ds *corpus.DatasetStats, f *os.File) error { return ds.WriteFigure6CSV(f) },
+		} {
+			path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", figure, profile))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := write(stats, f); err != nil {
+				f.Close() //nolint:errcheck // already failing
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sbprivacy/internal/exp"
+)
+
+func TestWriteCSVSeries(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	cfg := exp.Config{Hosts: 50, Scale: 1000, Seed: 3}
+	if err := writeCSVSeries(dir, cfg); err != nil {
+		t.Fatalf("writeCSVSeries: %v", err)
+	}
+	for _, name := range []string{
+		"figure5_Alexa.csv", "figure5_Random.csv",
+		"figure6_Alexa.csv", "figure6_Random.csv",
+	} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+		if len(lines) < 1 || !strings.Contains(lines[0], "rank,") {
+			t.Errorf("%s: malformed header %q", name, lines[0])
+		}
+		if strings.HasPrefix(name, "figure5_") && len(lines) != 51 {
+			t.Errorf("%s: %d lines, want 51", name, len(lines))
+		}
+	}
+}
+
+func TestWriteCSVSeriesBadDir(t *testing.T) {
+	t.Parallel()
+	// A file path where a directory is required.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := writeCSVSeries(filepath.Join(f, "sub"), exp.Config{Hosts: 5}); err == nil {
+		t.Error("want error for unwritable dir")
+	}
+}

@@ -1,0 +1,106 @@
+// Command sbanalyze runs the paper's Section 7 blacklist audit against
+// the synthetic provider databases: orphan prefixes (Table 11), database
+// inversion (Table 10) and multi-prefix URLs (Table 12).
+//
+// Usage:
+//
+//	sbanalyze -provider yandex -scale 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"sbprivacy/internal/blacklist"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		provider = flag.String("provider", "yandex", "google or yandex")
+		scale    = flag.Int("scale", 100, "scale divisor")
+		seed     = flag.Int64("seed", 2015, "generation seed")
+	)
+	flag.Parse()
+
+	var p blacklist.Provider
+	switch *provider {
+	case "google":
+		p = blacklist.Google
+	case "yandex":
+		p = blacklist.Yandex
+	default:
+		fmt.Fprintf(os.Stderr, "sbanalyze: unknown provider %q\n", *provider)
+		return 2
+	}
+	u, err := blacklist.BuildUniverse(blacklist.UniverseConfig{Provider: p, Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
+		return 1
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush() //nolint:errcheck // stdout flush at exit
+
+	fmt.Fprintf(w, "== orphan audit (%s, scale 1/%d) ==\n", p, *scale)
+	fmt.Fprintln(w, "list\t0 hash\t1 hash\t2 hash\ttotal\torphan rate")
+	for _, li := range u.Inventory {
+		n, err := u.Server.ListLen(li.Name)
+		if err != nil || n == 0 {
+			continue
+		}
+		rep, err := blacklist.AuditOrphans(u.Server, li.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.4f\n",
+			li.Name, rep.Zero, rep.One, rep.Two, rep.Total, rep.OrphanRate())
+	}
+
+	fmt.Fprintf(w, "\n== inversion audit ==\n")
+	fmt.Fprintln(w, "list\tdataset\tmatches\trate")
+	for _, li := range u.Inventory {
+		if _, tracked := blacklist.Table10Rates[li.Name]; !tracked {
+			continue
+		}
+		for _, ds := range blacklist.InversionDatasets {
+			res, err := blacklist.Invert(u.Server, li.Name, ds.Name, u.Datasets[ds.Name])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%.3f\n", li.Name, ds.Name, res.Matches, res.Rate)
+		}
+	}
+
+	if p == blacklist.Yandex {
+		fmt.Fprintf(w, "\n== multi-prefix scan (Table 12 candidates) ==\n")
+		if err := u.PlantTable12("ydx-malware-shavar"); err != nil {
+			fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
+			return 1
+		}
+		hits, err := blacklist.FindMultiPrefixURLs(u.Server,
+			[]string{"ydx-malware-shavar"}, u.Table12Candidates(), 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(w, "URL\tmatching decomposition\tprefix")
+		for _, h := range hits {
+			for i := range h.Expressions {
+				url := ""
+				if i == 0 {
+					url = h.URL
+				}
+				fmt.Fprintf(w, "%s\t%s\t%v\n", url, h.Expressions[i], h.Prefixes[i])
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+// Command sbclient syncs a local Safe Browsing database from a server
+// and checks URLs against it, printing the Figure 3 decision path and —
+// crucially for the paper — what each lookup reveals to the provider.
+//
+// Usage:
+//
+//	sbclient -server http://127.0.0.1:8045 -lists goog-malware-shavar \
+//	    http://example.com/ http://evil.example/attack
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sbprivacy/internal/sbclient"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		server    = flag.String("server", "http://127.0.0.1:8045", "Safe Browsing server base URL")
+		lists     = flag.String("lists", "goog-malware-shavar,googpub-phish-shavar", "comma-separated list names")
+		cookie    = flag.String("cookie", "", "Safe Browsing cookie (default: random)")
+		statePath = flag.String("state", "", "path to persist the local database across runs")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "sbclient: no URLs given")
+		return 2
+	}
+
+	var opts []sbclient.Option
+	if *cookie != "" {
+		opts = append(opts, sbclient.WithCookie(*cookie))
+	}
+	client := sbclient.New(
+		sbclient.HTTPTransport{BaseURL: strings.TrimRight(*server, "/")},
+		strings.Split(*lists, ","),
+		opts...,
+	)
+
+	if *statePath != "" {
+		if f, err := os.Open(*statePath); err == nil {
+			err = client.LoadState(f)
+			f.Close() //nolint:errcheck // read side
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sbclient: load state: %v (starting fresh)\n", err)
+			} else {
+				fmt.Printf("restored local database from %s\n", *statePath)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := client.Update(ctx, true); err != nil {
+		fmt.Fprintf(os.Stderr, "sbclient: update: %v\n", err)
+		return 1
+	}
+	fmt.Printf("local database: %d bytes across %s\n", client.LocalSizeBytes(), *lists)
+
+	if *statePath != "" {
+		defer func() {
+			f, err := os.Create(*statePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sbclient: save state: %v\n", err)
+				return
+			}
+			if err := client.SaveState(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sbclient: save state: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "sbclient: save state: %v\n", err)
+			}
+		}()
+	}
+
+	exit := 0
+	for _, url := range flag.Args() {
+		v, err := client.CheckURL(ctx, url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbclient: %s: %v\n", url, err)
+			exit = 1
+			continue
+		}
+		verdict := "non-malicious"
+		if !v.Safe {
+			verdict = "MALICIOUS"
+		}
+		fmt.Printf("%s -> %s\n", url, verdict)
+		fmt.Printf("  canonical: %s\n", v.Canonical)
+		for _, h := range v.LocalHits {
+			fmt.Printf("  local hit: %s (%v) in %s\n", h.Expression, h.Prefix, h.List)
+		}
+		if len(v.SentPrefixes) > 0 {
+			fmt.Printf("  leaked to provider: %v\n", v.SentPrefixes)
+		} else {
+			fmt.Printf("  leaked to provider: nothing\n")
+		}
+		for _, m := range v.Matches {
+			fmt.Printf("  confirmed: %s in %s\n", m.Expression, m.List)
+		}
+	}
+	return exit
+}

@@ -1,0 +1,66 @@
+// Command sbserver runs a Safe Browsing server over HTTP, loaded with
+// the synthetic GSB or YSB blacklists (Tables 1 and 3, scaled).
+//
+// Usage:
+//
+//	sbserver -addr :8045 -provider yandex -scale 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"sbprivacy/internal/blacklist"
+	"sbprivacy/internal/sbserver"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8045", "listen address")
+		provider = flag.String("provider", "google", "blacklist inventory: google or yandex")
+		scale    = flag.Int("scale", 100, "scale divisor for list sizes")
+		seed     = flag.Int64("seed", 2015, "generation seed")
+	)
+	flag.Parse()
+
+	var p blacklist.Provider
+	switch *provider {
+	case "google":
+		p = blacklist.Google
+	case "yandex":
+		p = blacklist.Yandex
+	default:
+		fmt.Fprintf(os.Stderr, "sbserver: unknown provider %q\n", *provider)
+		return 2
+	}
+
+	u, err := blacklist.BuildUniverse(blacklist.UniverseConfig{Provider: p, Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbserver: %v\n", err)
+		return 1
+	}
+	for _, name := range u.Server.ListNames() {
+		n, _ := u.Server.ListLen(name)
+		log.Printf("list %-36s %7d prefixes", name, n)
+	}
+	log.Printf("serving %s blacklists on http://%s", p, *addr)
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           sbserver.Handler(u.Server),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := httpServer.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "sbserver: %v\n", err)
+		return 1
+	}
+	return 0
+}

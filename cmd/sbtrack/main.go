@@ -1,0 +1,105 @@
+// Command sbtrack demonstrates the Section 6.3 tracking system: it runs
+// Algorithm 1 for a target URL against a web index, prints the prefixes
+// the provider would plant, then simulates a victim browsing and shows
+// the resulting tracking events.
+//
+// Usage:
+//
+//	sbtrack -target https://petsymposium.org/2016/cfp.php -delta 4
+//	sbtrack -target https://petsymposium.org/2016/ -delta 4 \
+//	    -visit https://petsymposium.org/2016/links.php
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sbprivacy/internal/core"
+	"sbprivacy/internal/sbclient"
+	"sbprivacy/internal/sbserver"
+)
+
+// demoIndex is the provider's (tiny) web index: the PETS site of the
+// paper's running example.
+var demoIndex = []string{
+	"petsymposium.org/",
+	"petsymposium.org/2016/",
+	"petsymposium.org/2016/cfp.php",
+	"petsymposium.org/2016/links.php",
+	"petsymposium.org/2016/faqs.php",
+	"petsymposium.org/2016/submission/",
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		target = flag.String("target", "https://petsymposium.org/2016/cfp.php", "URL to track")
+		delta  = flag.Int("delta", core.DefaultDelta, "max prefixes per tracked URL")
+		visit  = flag.String("visit", "", "URL the simulated victim visits (default: the target)")
+	)
+	flag.Parse()
+	if *visit == "" {
+		*visit = *target
+	}
+
+	index := core.NewIndex(demoIndex)
+	plan, err := core.BuildTrackingPlan(index, *target, *delta)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbtrack: %v\n", err)
+		return 1
+	}
+	fmt.Printf("Algorithm 1 plan for %s (delta=%d)\n", plan.Target, *delta)
+	fmt.Printf("  mode: %s   failure probability: %.3g\n", plan.Mode, plan.FailureProbability)
+	for i, e := range plan.Expressions {
+		fmt.Printf("  plant %v  <- %s\n", plan.Prefixes[i], e)
+	}
+	if len(plan.TypeIColliders) > 0 {
+		fmt.Printf("  also tracks (Type I colliders): %v\n", plan.TypeIColliders)
+	}
+
+	// Simulate: provider plants the shadow DB, victim browses.
+	server := sbserver.New()
+	const list = "goog-malware-shavar"
+	if err := server.CreateList(list, "malware"); err != nil {
+		fmt.Fprintf(os.Stderr, "sbtrack: %v\n", err)
+		return 1
+	}
+	tracker := core.NewTracker(plan)
+	if err := server.AddExpressions(list, tracker.ShadowExpressions()); err != nil {
+		fmt.Fprintf(os.Stderr, "sbtrack: %v\n", err)
+		return 1
+	}
+	server.Subscribe(tracker)
+
+	client := sbclient.New(sbclient.LocalTransport{Server: server}, []string{list},
+		sbclient.WithCookie("victim-cookie"))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := client.Update(ctx, true); err != nil {
+		fmt.Fprintf(os.Stderr, "sbtrack: %v\n", err)
+		return 1
+	}
+	v, err := client.CheckURL(ctx, *visit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbtrack: %v\n", err)
+		return 1
+	}
+	fmt.Printf("\nvictim visits %s\n", *visit)
+	fmt.Printf("  prefixes sent to provider: %v\n", v.SentPrefixes)
+
+	events := tracker.Events()
+	if len(events) == 0 {
+		fmt.Println("  -> no tracking event (fewer than 2 shadow prefixes observed)")
+		return 0
+	}
+	for _, e := range events {
+		fmt.Printf("  -> TRACKED: cookie=%s url=%s certainty=%s\n", e.ClientID, e.URL, e.Certainty)
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+// Mitigation: the Section 8 countermeasures in action. Compares what a
+// vanilla client leaks against the dummy-padded and one-prefix-at-a-time
+// strategies, on both a single-prefix and a multi-prefix lookup — showing
+// where each defence helps and where it fails.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sbprivacy"
+	"sbprivacy/internal/mitigation"
+	"sbprivacy/internal/prefixdb"
+)
+
+const list = "ydx-porno-hosts-top-shavar"
+
+func main() {
+	ctx := context.Background()
+
+	// The provider blacklists both xhamster.com/ and its French mirror —
+	// the paper's Table 12 multi-prefix situation.
+	server := sbprivacy.NewServer()
+	must(server.CreateList(list, "pornography"))
+	must(server.AddExpressions(server.ListNames()[0],
+		[]string{"fr.xhamster.com/", "xhamster.com/"}))
+
+	// Vanilla client: both prefixes leak in one request.
+	vanilla := sbprivacy.NewClient(sbprivacy.LocalTransport{Server: server},
+		[]string{list}, sbprivacy.WithCookie("vanilla"))
+	must(vanilla.Update(ctx, true))
+	v, err := vanilla.CheckURL(ctx, "http://fr.xhamster.com/user/video")
+	must(err)
+	fmt.Printf("vanilla client leaked: %v\n", v.SentPrefixes)
+
+	// The provider's index re-identifies the domain from that pair.
+	index := sbprivacy.NewIndex([]string{
+		"fr.xhamster.com/user/video", "fr.xhamster.com/", "xhamster.com/",
+		"news.example/", "blog.example/post",
+	})
+	re := index.Reidentify(v.SentPrefixes)
+	fmt.Printf("provider re-identifies: domain=%s candidates=%v\n\n",
+		re.CommonDomain, re.Candidates)
+
+	// Mitigated client: dummies + one-prefix-at-a-time.
+	prefixes, err := server.PrefixesOf(list)
+	must(err)
+	checker := &mitigation.Checker{
+		Transport: sbprivacy.LocalTransport{Server: server},
+		Store:     prefixdb.NewSortedSet(prefixes),
+		Cookie:    "mitigated",
+		Dummies:   4,
+	}
+	res, err := checker.CheckURL(ctx, "http://fr.xhamster.com/user/video")
+	must(err)
+	fmt.Printf("mitigated client: outcome=%s requests=%d leaked=%d prefixes\n",
+		res.Outcome, res.Requests, len(res.LeakedPrefixes))
+	fmt.Println("    (root queried first; padded with deterministic dummies)")
+
+	// The single-prefix k-anonymity gain from dummies.
+	before, after := mitigation.SingleKAnonymityGain(
+		sbprivacy.SumPrefix("xhamster.com/"), 4, index.KAnonymity)
+	fmt.Printf("\ndummy padding, single prefix: k-anonymity %d -> %d\n", before, after)
+
+	// ...and the paper's negative result: the correlated pair still
+	// re-identifies the domain even under padding.
+	padded := mitigation.AugmentRequest(v.SentPrefixes, 4)
+	var indexed []sbprivacy.Prefix
+	for _, p := range padded {
+		if index.KAnonymity(p) > 0 {
+			indexed = append(indexed, p)
+		}
+	}
+	rePadded := index.Reidentify(indexed)
+	fmt.Printf("multi-prefix under padding: provider still sees domain=%s\n",
+		rePadded.CommonDomain)
+	fmt.Println("    -> dummies cannot hide correlated prefixes (Section 8)")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Tracker: the full Section 6.3 attack. The provider wants to know who
+// reads the PETS call for papers and who plans to submit. It runs
+// Algorithm 1 to choose tracking prefixes, plants them in the malware
+// list, watches the full-hash probe log, and correlates temporally close
+// queries — all while the clients believe they are only checking URLs
+// for safety.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"sbprivacy"
+)
+
+const list = "goog-malware-shavar"
+
+func main() {
+	ctx := context.Background()
+
+	// The provider's web index (its crawlers have seen the PETS site).
+	index := sbprivacy.NewIndex([]string{
+		"petsymposium.org/",
+		"petsymposium.org/2016/",
+		"petsymposium.org/2016/cfp.php",
+		"petsymposium.org/2016/links.php",
+		"petsymposium.org/2016/faqs.php",
+		"petsymposium.org/2016/submission/",
+	})
+
+	// Algorithm 1: tracking prefixes for the CFP page (a leaf: two
+	// prefixes suffice) and for the 2016 directory (non-leaf: colliders
+	// are planted too).
+	cfpPlan, err := sbprivacy.BuildTrackingPlan(index, "https://petsymposium.org/2016/cfp.php", 4)
+	must(err)
+	dirPlan, err := sbprivacy.BuildTrackingPlan(index, "https://petsymposium.org/2016/", 8)
+	must(err)
+	for _, plan := range []*sbprivacy.TrackingPlan{cfpPlan, dirPlan} {
+		fmt.Printf("plan for %s: mode=%s prefixes=%v\n", plan.Target, plan.Mode, plan.Prefixes)
+	}
+
+	// Plant the shadow database and subscribe the observers.
+	server := sbprivacy.NewServer()
+	must(server.CreateList(list, "malware"))
+	tracker := sbprivacy.NewTracker(cfpPlan, dirPlan)
+	must(server.AddExpressions(list, tracker.ShadowExpressions()))
+	must(server.AddExpressions(list, []string{"petsymposium.org/2016/submission/"}))
+	server.Subscribe(tracker)
+
+	correlator := sbprivacy.NewCorrelator(sbprivacy.NewCorrelationRule(
+		"planning-to-submit-a-paper",
+		time.Hour,
+		"petsymposium.org/2016/cfp.php",
+		"petsymposium.org/2016/submission/",
+	))
+	server.Subscribe(correlator)
+
+	// Three users browse. Each has a stable Safe Browsing cookie — the
+	// identifier the paper's Section 2.2.3 discusses.
+	alice := newClient(ctx, server, "cookie-alice")
+	bob := newClient(ctx, server, "cookie-bob")
+	carol := newClient(ctx, server, "cookie-carol")
+
+	browse(ctx, alice, "https://petsymposium.org/2016/cfp.php")      // reads the CFP
+	browse(ctx, alice, "https://petsymposium.org/2016/submission/")  // ...and submits
+	browse(ctx, bob, "https://petsymposium.org/2016/links.php")      // a collider page
+	browse(ctx, carol, "http://unrelated.example/recipes/cake.html") // clean browsing
+
+	// The provider's conclusions.
+	fmt.Println("\ntracking events:")
+	for _, e := range tracker.Events() {
+		fmt.Printf("    %s visited %s (certainty: %s)\n", e.ClientID, e.URL, e.Certainty)
+	}
+	fmt.Println("behavioural inferences (temporal correlation):")
+	for _, e := range correlator.Events() {
+		fmt.Printf("    %s: %s (queries within %v)\n", e.ClientID, e.Rule, e.Last.Sub(e.First))
+	}
+}
+
+func newClient(ctx context.Context, server *sbprivacy.Server, cookie string) *sbprivacy.Client {
+	c := sbprivacy.NewClient(sbprivacy.LocalTransport{Server: server},
+		[]string{list}, sbprivacy.WithCookie(cookie))
+	must(c.Update(ctx, true))
+	return c
+}
+
+func browse(ctx context.Context, c *sbprivacy.Client, url string) {
+	v, err := c.CheckURL(ctx, url)
+	must(err)
+	fmt.Printf("%s checks %s: leaked %v\n", c.Cookie(), url, v.SentPrefixes)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package sbprivacy_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sbprivacy"
+	"sbprivacy/internal/blacklist"
+	"sbprivacy/internal/sbserver"
+)
+
+// TestIntegrationFullAttackOverHTTP runs the paper's complete scenario on
+// a real HTTP stack: a synthetic Yandex-scale universe, Algorithm 1
+// tracking plans planted in a served list, several cookie-identified
+// clients browsing concurrently, and the provider-side tracker and
+// correlator drawing conclusions from the probe log alone.
+func TestIntegrationFullAttackOverHTTP(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Provider: synthetic blacklists plus the tracking shadow database.
+	universe, err := blacklist.BuildUniverse(blacklist.UniverseConfig{
+		Provider: blacklist.Yandex, Scale: 500, Seed: 77,
+	})
+	if err != nil {
+		t.Fatalf("BuildUniverse: %v", err)
+	}
+	server := universe.Server
+
+	index := sbprivacy.NewIndex([]string{
+		"petsymposium.org/",
+		"petsymposium.org/2016/",
+		"petsymposium.org/2016/cfp.php",
+		"petsymposium.org/2016/links.php",
+		"petsymposium.org/2016/submission/",
+	})
+	plan, err := sbprivacy.BuildTrackingPlan(index, "https://petsymposium.org/2016/cfp.php", 4)
+	if err != nil {
+		t.Fatalf("BuildTrackingPlan: %v", err)
+	}
+	tracker := sbprivacy.NewTracker(plan)
+	const trackingList = "ydx-malware-shavar"
+	if err := server.AddExpressions(trackingList, tracker.ShadowExpressions()); err != nil {
+		t.Fatalf("AddExpressions: %v", err)
+	}
+	if err := server.AddExpressions(trackingList,
+		[]string{"petsymposium.org/2016/submission/"}); err != nil {
+		t.Fatalf("AddExpressions: %v", err)
+	}
+	server.Subscribe(tracker)
+
+	correlator := sbprivacy.NewCorrelator(sbprivacy.NewCorrelationRule(
+		"pets-author", time.Hour,
+		"petsymposium.org/2016/cfp.php",
+		"petsymposium.org/2016/submission/",
+	))
+	server.Subscribe(correlator)
+
+	ts := httptest.NewServer(sbserver.Handler(server))
+	defer ts.Close()
+
+	lists := []string{trackingList, "ydx-porno-hosts-top-shavar"}
+	newClient := func(cookie string) *sbprivacy.Client {
+		c := sbprivacy.NewClient(
+			sbprivacy.HTTPTransport{BaseURL: ts.URL, Client: ts.Client()},
+			lists, sbprivacy.WithCookie(cookie))
+		if err := c.Update(ctx, true); err != nil {
+			t.Fatalf("Update(%s): %v", cookie, err)
+		}
+		return c
+	}
+
+	// Concurrent browsing: the victim reads the CFP then the submission
+	// site; bystanders browse clean and synthetic-blacklisted content.
+	victim := newClient("victim")
+	bystanders := []*sbprivacy.Client{newClient("b1"), newClient("b2"), newClient("b3")}
+
+	var wg sync.WaitGroup
+	for i, c := range bystanders {
+		wg.Add(1)
+		go func(i int, c *sbprivacy.Client) {
+			defer wg.Done()
+			urls := []string{
+				"http://news.example/article",
+				"http://shop.example/cart?item=42",
+				"http://blog.example/post/2015/06",
+			}
+			for _, u := range urls {
+				if _, err := c.CheckURL(ctx, u); err != nil {
+					t.Errorf("bystander %d: %v", i, err)
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	v, err := victim.CheckURL(ctx, "https://petsymposium.org/2016/cfp.php")
+	if err != nil {
+		t.Fatalf("victim CheckURL: %v", err)
+	}
+	if len(v.SentPrefixes) != 2 {
+		t.Fatalf("victim leaked %v", v.SentPrefixes)
+	}
+	if _, err := victim.CheckURL(ctx, "https://petsymposium.org/2016/submission/"); err != nil {
+		t.Fatalf("victim CheckURL submission: %v", err)
+	}
+
+	// The provider's conclusions.
+	events := tracker.EventsFor("victim")
+	if len(events) != 1 {
+		t.Fatalf("victim events = %+v", events)
+	}
+	if events[0].URL != "petsymposium.org/2016/cfp.php" ||
+		events[0].Certainty.String() != "exact" {
+		t.Errorf("event = %+v", events[0])
+	}
+	for _, b := range []string{"b1", "b2", "b3"} {
+		if got := tracker.EventsFor(b); len(got) != 0 {
+			t.Errorf("bystander %s tracked: %+v", b, got)
+		}
+	}
+	correlations := correlator.Events()
+	if len(correlations) != 1 || correlations[0].ClientID != "victim" ||
+		correlations[0].Rule != "pets-author" {
+		t.Fatalf("correlations = %+v", correlations)
+	}
+
+	// The audit side still works on the same served database.
+	report, err := sbprivacy.AuditOrphans(server, "ydx-phish-shavar")
+	if err != nil {
+		t.Fatalf("AuditOrphans: %v", err)
+	}
+	if report.OrphanRate() < 0.9 {
+		t.Errorf("ydx-phish orphan rate = %.3f, want ~0.99", report.OrphanRate())
+	}
+}
+
+// TestIntegrationStoreKindsAgreeOverHTTP runs the same browsing session
+// with each local store implementation and checks identical verdicts.
+func TestIntegrationStoreKindsAgreeOverHTTP(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	server := sbprivacy.NewServer()
+	const list = "goog-malware-shavar"
+	if err := server.CreateList(list, "malware"); err != nil {
+		t.Fatalf("CreateList: %v", err)
+	}
+	if err := server.AddExpressions(list, []string{
+		"evil.example/", "bad.example/page.html", "worse.example/x/y/",
+	}); err != nil {
+		t.Fatalf("AddExpressions: %v", err)
+	}
+	ts := httptest.NewServer(sbserver.Handler(server))
+	defer ts.Close()
+
+	urls := []string{
+		"http://evil.example/whatever",
+		"http://bad.example/page.html",
+		"http://bad.example/other.html",
+		"http://worse.example/x/y/z.html",
+		"http://clean.example/",
+	}
+	type verdictRow struct {
+		safe int
+		sent int
+	}
+	var rows []verdictRow
+	for _, factory := range []sbprivacy.StoreFactoryKind{
+		sbprivacy.StoreSorted, sbprivacy.StoreDelta,
+	} {
+		client := sbprivacy.NewClient(
+			sbprivacy.HTTPTransport{BaseURL: ts.URL, Client: ts.Client()},
+			[]string{list},
+			sbprivacy.WithStoreFactory(sbprivacy.StoreFactoryFor(factory)),
+		)
+		if err := client.Update(ctx, true); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		row := verdictRow{}
+		for _, u := range urls {
+			v, err := client.CheckURL(ctx, u)
+			if err != nil {
+				t.Fatalf("CheckURL(%s): %v", u, err)
+			}
+			if v.Safe {
+				row.safe++
+			}
+			row.sent += len(v.SentPrefixes)
+		}
+		rows = append(rows, row)
+	}
+	if rows[0] != rows[1] {
+		t.Errorf("store kinds disagree: %+v vs %+v", rows[0], rows[1])
+	}
+}

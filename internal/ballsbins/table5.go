@@ -1,0 +1,89 @@
+package ballsbins
+
+import "math"
+
+// Internet-scale inputs of the paper's Table 5: unique URLs claimed by
+// Google and registered domains reported by Verisign.
+var (
+	// Table5URLCounts maps year to unique URLs (10^12).
+	Table5URLCounts = map[int]float64{
+		2008: 1e12,
+		2012: 30e12,
+		2013: 60e12,
+	}
+	// Table5DomainCounts maps year to registered domains (10^6).
+	Table5DomainCounts = map[int]float64{
+		2008: 177e6,
+		2012: 252e6,
+		2013: 271e6,
+	}
+	// Table5PrefixBits are the truncation lengths swept by the table.
+	Table5PrefixBits = []int{16, 32, 64, 96}
+	// Table5Years are the reported years, in order.
+	Table5Years = []int{2008, 2012, 2013}
+)
+
+// Cell is one entry of the reproduced Table 5.
+type Cell struct {
+	Year  int
+	Bits  int
+	Balls float64
+	// Theorem is the Raab-Steger k_alpha value (alpha=1, natural log).
+	Theorem float64
+	Regime  Regime
+	// Heavy is the m/n + sqrt(2 (m/n) ln n) estimate used by the paper's
+	// dense cells.
+	Heavy float64
+	// Poisson is the numerically exact expected-maximum estimate.
+	Poisson int
+}
+
+// ComputeCell evaluates all three estimates for one (m, l) pair.
+func ComputeCell(year, bits int, balls float64) (Cell, error) {
+	bins := math.Pow(2, float64(bits))
+	p := Params{Balls: balls, Bins: bins}
+	theorem, regime, err := MaxLoad(p)
+	if err != nil {
+		return Cell{}, err
+	}
+	poisson, err := PoissonMaxLoad(balls, bins)
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{
+		Year:    year,
+		Bits:    bits,
+		Balls:   balls,
+		Theorem: theorem,
+		Regime:  regime,
+		Heavy:   HeavyLoadEstimate(p),
+		Poisson: poisson,
+	}, nil
+}
+
+// Table5 computes the full URL and domain grids of the paper's Table 5.
+// The first return value holds URL cells, the second domain cells, both
+// indexed [bits][year] in Table5PrefixBits x Table5Years order.
+func Table5() (urls, domains [][]Cell, err error) {
+	build := func(counts map[int]float64) ([][]Cell, error) {
+		grid := make([][]Cell, len(Table5PrefixBits))
+		for i, bits := range Table5PrefixBits {
+			grid[i] = make([]Cell, len(Table5Years))
+			for j, year := range Table5Years {
+				cell, err := ComputeCell(year, bits, counts[year])
+				if err != nil {
+					return nil, err
+				}
+				grid[i][j] = cell
+			}
+		}
+		return grid, nil
+	}
+	if urls, err = build(Table5URLCounts); err != nil {
+		return nil, nil, err
+	}
+	if domains, err = build(Table5DomainCounts); err != nil {
+		return nil, nil, err
+	}
+	return urls, domains, nil
+}

@@ -1,0 +1,182 @@
+package blacklist
+
+import (
+	"sort"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/urlx"
+	"sbprivacy/internal/wire"
+)
+
+// OrphanReport is one row of the paper's Table 11: the distribution of
+// full hashes per prefix for a list.
+type OrphanReport struct {
+	List string
+	// Zero, One, Two count prefixes by how many full digests the server
+	// returns for them; Zero are the orphans of Section 7.2.
+	Zero, One, Two int
+	// More counts prefixes with three or more digests (absent from the
+	// paper's data but possible).
+	More  int
+	Total int
+}
+
+// OrphanRate returns the orphan share of the list, in [0, 1].
+func (r OrphanReport) OrphanRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Zero) / float64(r.Total)
+}
+
+// fullHashBatch bounds prefixes per full-hash request during audits.
+const fullHashBatch = 64
+
+// AuditOrphans crawls a list the way the paper did: download every
+// prefix, request full hashes for each, and count how many digests match.
+// An entry with no matching digest is an orphan — it triggers
+// communication with the server but can never be confirmed.
+func AuditOrphans(s *sbserver.Server, list string) (OrphanReport, error) {
+	report := OrphanReport{List: list}
+	prefixes, err := s.PrefixesOf(list)
+	if err != nil {
+		return report, err
+	}
+	report.Total = len(prefixes)
+	for start := 0; start < len(prefixes); start += fullHashBatch {
+		end := start + fullHashBatch
+		if end > len(prefixes) {
+			end = len(prefixes)
+		}
+		batch := prefixes[start:end]
+		resp, err := s.FullHashes(&wire.FullHashRequest{ClientID: "auditor", Prefixes: batch})
+		if err != nil {
+			return report, err
+		}
+		counts := make(map[hashx.Prefix]int, len(batch))
+		for _, e := range resp.Entries {
+			counts[e.Digest.Prefix()]++
+		}
+		for _, p := range batch {
+			switch counts[p] {
+			case 0:
+				report.Zero++
+			case 1:
+				report.One++
+			case 2:
+				report.Two++
+			default:
+				report.More++
+			}
+		}
+	}
+	return report, nil
+}
+
+// InversionResult is one cell of the paper's Table 10.
+type InversionResult struct {
+	List    string
+	Dataset string
+	// Matches is the number of list prefixes matched by some dataset
+	// entry; Rate is Matches / list size.
+	Matches int
+	Rate    float64
+	// Recovered maps matched prefixes to a cleartext candidate.
+	Recovered map[hashx.Prefix]string
+}
+
+// Invert attempts to reconstruct a prefix list in cleartext: hash every
+// dataset entry and join against the list's prefixes (Section 7.1).
+func Invert(s *sbserver.Server, list string, datasetName string, entries []string) (InversionResult, error) {
+	res := InversionResult{
+		List:      list,
+		Dataset:   datasetName,
+		Recovered: make(map[hashx.Prefix]string),
+	}
+	prefixes, err := s.PrefixesOf(list)
+	if err != nil {
+		return res, err
+	}
+	listSet := make(map[hashx.Prefix]struct{}, len(prefixes))
+	for _, p := range prefixes {
+		listSet[p] = struct{}{}
+	}
+	for _, e := range entries {
+		p := hashx.SumPrefix(e)
+		if _, hit := listSet[p]; !hit {
+			continue
+		}
+		if _, dup := res.Recovered[p]; !dup {
+			res.Recovered[p] = e
+			res.Matches++
+		}
+	}
+	if len(prefixes) > 0 {
+		res.Rate = float64(res.Matches) / float64(len(prefixes))
+	}
+	return res, nil
+}
+
+// MultiPrefixHit is one row of the paper's Table 12: a URL whose lookup
+// produces two or more local-database hits.
+type MultiPrefixHit struct {
+	URL string
+	// Expressions are the matching decompositions, parallel to Prefixes.
+	Expressions []string
+	Prefixes    []hashx.Prefix
+	// Lists names the list each prefix was found in (aligned).
+	Lists []string
+}
+
+// FindMultiPrefixURLs scans candidate URLs against the server's lists and
+// returns those that create at least minHits hits — the experiment behind
+// Table 12 (the paper ran the Alexa list and the BigBlackList as
+// candidates). minHits < 2 defaults to 2.
+func FindMultiPrefixURLs(s *sbserver.Server, lists []string, candidates []string, minHits int) ([]MultiPrefixHit, error) {
+	if minHits < 2 {
+		minHits = 2
+	}
+	type listSet struct {
+		name string
+		set  map[hashx.Prefix]struct{}
+	}
+	sets := make([]listSet, 0, len(lists))
+	for _, name := range lists {
+		prefixes, err := s.PrefixesOf(name)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[hashx.Prefix]struct{}, len(prefixes))
+		for _, p := range prefixes {
+			set[p] = struct{}{}
+		}
+		sets = append(sets, listSet{name: name, set: set})
+	}
+
+	var hits []MultiPrefixHit
+	for _, raw := range candidates {
+		canon, err := urlx.Canonicalize(raw)
+		if err != nil {
+			continue // skip malformed candidates, as a crawler would
+		}
+		var hit MultiPrefixHit
+		hit.URL = raw
+		for _, d := range canon.Decompositions() {
+			p := hashx.SumPrefix(d)
+			for _, ls := range sets {
+				if _, ok := ls.set[p]; ok {
+					hit.Expressions = append(hit.Expressions, d)
+					hit.Prefixes = append(hit.Prefixes, p)
+					hit.Lists = append(hit.Lists, ls.name)
+					break
+				}
+			}
+		}
+		if len(hit.Prefixes) >= minHits {
+			hits = append(hits, hit)
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].URL < hits[j].URL })
+	return hits, nil
+}

@@ -1,0 +1,185 @@
+// Package blacklist reproduces the paper's Section 7 analysis of the
+// Google and Yandex Safe Browsing databases: the list inventories
+// (Tables 1 and 3), database inversion (Tables 9 and 10), orphan-prefix
+// detection (Table 11) and multi-prefix URL discovery (Table 12).
+//
+// The audit algorithms run against any sbserver.Server. Because the live
+// 2015 databases cannot be fetched offline, the package also builds a
+// synthetic universe whose planted composition matches the paper's
+// measured rates, so the audit output reproduces the published rows.
+package blacklist
+
+// Provider distinguishes the two services.
+type Provider int
+
+// Providers.
+const (
+	Google Provider = iota + 1
+	Yandex
+)
+
+// String names the provider.
+func (p Provider) String() string {
+	switch p {
+	case Google:
+		return "Google"
+	case Yandex:
+		return "Yandex"
+	default:
+		return "unknown"
+	}
+}
+
+// ListInfo describes one blacklist as the paper reports it.
+type ListInfo struct {
+	Name        string
+	Description string
+	Provider    Provider
+	// Prefixes is the prefix count the paper observed (Tables 1 and 3);
+	// -1 marks cells the paper could not obtain (*).
+	Prefixes int
+	// FullHash0/1/2 are Table 11's distribution of full hashes per
+	// prefix: orphans, one parent, two parents. Lists absent from
+	// Table 11 carry zeros.
+	FullHash0, FullHash1, FullHash2 int
+	// AlexaColl0/1/2 are Table 11's collisions with the Alexa list.
+	AlexaColl0, AlexaColl1, AlexaColl2 int
+}
+
+// GoogleLists is the paper's Table 1.
+var GoogleLists = []ListInfo{
+	{Name: "goog-malware-shavar", Description: "malware", Provider: Google, Prefixes: 317807,
+		FullHash0: 36, FullHash1: 317759, FullHash2: 12,
+		AlexaColl0: 0, AlexaColl1: 572, AlexaColl2: 0},
+	{Name: "goog-regtest-shavar", Description: "test file", Provider: Google, Prefixes: 29667},
+	{Name: "goog-unwanted-shavar", Description: "unwanted softw.", Provider: Google, Prefixes: -1},
+	{Name: "goog-whitedomain-shavar", Description: "unused", Provider: Google, Prefixes: 1},
+	{Name: "googpub-phish-shavar", Description: "phishing", Provider: Google, Prefixes: 312621,
+		FullHash0: 123, FullHash1: 312494, FullHash2: 4,
+		AlexaColl0: 0, AlexaColl1: 88, AlexaColl2: 0},
+}
+
+// YandexLists is the paper's Table 3 (with Table 11 distributions).
+var YandexLists = []ListInfo{
+	{Name: "goog-malware-shavar", Description: "malware", Provider: Yandex, Prefixes: 283211},
+	{Name: "goog-mobile-only-malware-shavar", Description: "mobile malware", Provider: Yandex, Prefixes: 2107},
+	{Name: "goog-phish-shavar", Description: "phishing", Provider: Yandex, Prefixes: 31593},
+	{Name: "ydx-adult-shavar", Description: "adult website", Provider: Yandex, Prefixes: 434,
+		FullHash0: 184, FullHash1: 250, FullHash2: 0,
+		AlexaColl0: 38, AlexaColl1: 43, AlexaColl2: 0},
+	{Name: "ydx-adult-testing-shavar", Description: "test file", Provider: Yandex, Prefixes: 535},
+	{Name: "ydx-imgs-shavar", Description: "malicious image", Provider: Yandex, Prefixes: 0},
+	{Name: "ydx-malware-shavar", Description: "malware", Provider: Yandex, Prefixes: 283211,
+		FullHash0: 4184, FullHash1: 279015, FullHash2: 12,
+		AlexaColl0: 73, AlexaColl1: 2614, AlexaColl2: 0},
+	{Name: "ydx-mitb-masks-shavar", Description: "man-in-the-browser", Provider: Yandex, Prefixes: 87,
+		FullHash0: 87, FullHash1: 0, FullHash2: 0,
+		AlexaColl0: 2, AlexaColl1: 0, AlexaColl2: 0},
+	{Name: "ydx-mobile-only-malware-shavar", Description: "malware", Provider: Yandex, Prefixes: 2107,
+		FullHash0: 130, FullHash1: 1977, FullHash2: 0,
+		AlexaColl0: 2, AlexaColl1: 22, AlexaColl2: 0},
+	{Name: "ydx-phish-shavar", Description: "phishing", Provider: Yandex, Prefixes: 31593,
+		FullHash0: 31325, FullHash1: 268, FullHash2: 0,
+		AlexaColl0: 22, AlexaColl1: 0, AlexaColl2: 0},
+	{Name: "ydx-porno-hosts-top-shavar", Description: "pornography", Provider: Yandex, Prefixes: 99990,
+		FullHash0: 240, FullHash1: 99750, FullHash2: 0,
+		AlexaColl0: 43, AlexaColl1: 17541, AlexaColl2: 0},
+	{Name: "ydx-sms-fraud-shavar", Description: "sms fraud", Provider: Yandex, Prefixes: 10609,
+		FullHash0: 10162, FullHash1: 447, FullHash2: 0,
+		AlexaColl0: 76, AlexaColl1: 3, AlexaColl2: 0},
+	{Name: "ydx-test-shavar", Description: "test file", Provider: Yandex, Prefixes: 0},
+	{Name: "ydx-yellow-shavar", Description: "shocking content", Provider: Yandex, Prefixes: 209,
+		FullHash0: 209, FullHash1: 0, FullHash2: 0,
+		AlexaColl0: 15, AlexaColl1: 0, AlexaColl2: 0},
+	{Name: "ydx-yellow-testing-shavar", Description: "test file", Provider: Yandex, Prefixes: 370},
+	{Name: "ydx-badcrxids-digestvar", Description: ".crx file ids", Provider: Yandex, Prefixes: -1},
+	{Name: "ydx-badbin-digestvar", Description: "malicious binary", Provider: Yandex, Prefixes: -1},
+	{Name: "ydx-mitb-uids", Description: "man-in-the-browser android app UID", Provider: Yandex, Prefixes: -1},
+	{Name: "ydx-badcrxids-testing-digestvar", Description: "test file", Provider: Yandex, Prefixes: -1},
+}
+
+// Table12URLs are the paper's concrete multi-prefix examples: URLs whose
+// lookups reveal two prefixes, with the decompositions that match. These
+// double as ground-truth test vectors (the prefixes are pinned in hashx).
+var Table12URLs = []struct {
+	Provider Provider
+	URL      string
+	Matches  []string
+}{
+	{Google, "http://wps3b.17buddies.net/wp/cs_sub_7-2.pwf",
+		[]string{"17buddies.net/wp/cs_sub_7-2.pwf", "17buddies.net/wp/"}},
+	{Google, "http://www.1001cartes.org/tag/emergency-issues",
+		[]string{"1001cartes.org/tag/emergency-issues", "1001cartes.org/tag/"}},
+	{Google, "http://www.1ptv.ru/menu/ask/",
+		[]string{"www.1ptv.ru/", "1ptv.ru/menu/"}},
+	{Yandex, "http://fr.xhamster.com/user/video",
+		[]string{"fr.xhamster.com/", "xhamster.com/"}},
+	{Yandex, "http://nl.xhamster.com/user/video",
+		[]string{"nl.xhamster.com/", "xhamster.com/"}},
+	{Yandex, "http://m.wickedpictures.com/user/login",
+		[]string{"m.wickedpictures.com/", "wickedpictures.com/"}},
+	{Yandex, "http://m.mofos.com/user/login",
+		[]string{"m.mofos.com/", "mofos.com/"}},
+	{Yandex, "http://mobile.teenslovehugecocks.com/user/join",
+		[]string{"mobile.teenslovehugecocks.com/", "teenslovehugecocks.com/"}},
+}
+
+// InversionDatasets is the paper's Table 9: the cleartext corpora used to
+// invert the prefix databases.
+var InversionDatasets = []struct {
+	Name        string
+	Description string
+	Entries     int
+}{
+	{"Malware list", "malware", 1240300},
+	{"Phishing list", "phishing", 151331},
+	{"BigBlackList", "malw., phish., porno, others", 2488828},
+	{"DNS Census-13", "second-level domains", 106923807},
+}
+
+// Table10Rates maps list name -> dataset name -> the paper's measured
+// reconstruction rate (fraction of the list's prefixes matched).
+var Table10Rates = map[string]map[string]float64{
+	"goog-malware-shavar": {
+		"Malware list": 0.059, "Phishing list": 0.001, "BigBlackList": 0.019, "DNS Census-13": 0.20,
+	},
+	"googpub-phish-shavar": {
+		"Malware list": 0.002, "Phishing list": 0.035, "BigBlackList": 0.0026, "DNS Census-13": 0.025,
+	},
+	"ydx-malware-shavar": {
+		"Malware list": 0.156, "Phishing list": 0.001, "BigBlackList": 0.039, "DNS Census-13": 0.31,
+	},
+	"ydx-adult-shavar": {
+		"Malware list": 0.066, "Phishing list": 0.002, "BigBlackList": 0.076, "DNS Census-13": 0.463,
+	},
+	"ydx-mobile-only-malware-shavar": {
+		"Malware list": 0.009, "Phishing list": 0, "BigBlackList": 0.008, "DNS Census-13": 0.375,
+	},
+	"ydx-phish-shavar": {
+		"Malware list": 0.001, "Phishing list": 0.049, "BigBlackList": 0.0047, "DNS Census-13": 0.056,
+	},
+	"ydx-mitb-masks-shavar": {
+		"Malware list": 0.229, "Phishing list": 0, "BigBlackList": 0.011, "DNS Census-13": 0.103,
+	},
+	"ydx-porno-hosts-top-shavar": {
+		"Malware list": 0.016, "Phishing list": 0.002, "BigBlackList": 0.114, "DNS Census-13": 0.557,
+	},
+	"ydx-sms-fraud-shavar": {
+		"Malware list": 0.006, "Phishing list": 0.0001, "BigBlackList": 0.002, "DNS Census-13": 0.097,
+	},
+	"ydx-yellow-shavar": {
+		"Malware list": 0.20, "Phishing list": 0.004, "BigBlackList": 0.038, "DNS Census-13": 0.364,
+	},
+}
+
+// ListsFor returns the inventory for a provider.
+func ListsFor(p Provider) []ListInfo {
+	switch p {
+	case Google:
+		return GoogleLists
+	case Yandex:
+		return YandexLists
+	default:
+		return nil
+	}
+}

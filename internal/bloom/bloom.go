@@ -1,0 +1,144 @@
+// Package bloom implements the Bloom filter Google deployed in early
+// Chromium versions (discontinued September 2012) to hold the Safe
+// Browsing prefix database on the client.
+//
+// The paper's Table 2 compares this structure against the delta-coded
+// table that replaced it: the filter's size is independent of the prefix
+// length but it is static — unsuitable for Safe Browsing's highly dynamic
+// blacklists — and carries an intrinsic false-positive probability on top
+// of the truncation-induced collisions.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"sbprivacy/internal/hashx"
+)
+
+// Filter is a classic m-bit, k-hash Bloom filter over byte strings.
+// The zero value is not usable; construct with New or NewWithEstimate.
+type Filter struct {
+	bits  []uint64
+	mBits uint64
+	k     int
+	n     int // inserted element count
+}
+
+// Errors returned by the constructors.
+var (
+	ErrBadSize   = errors.New("bloom: filter size must be positive")
+	ErrBadHashes = errors.New("bloom: hash count must be in [1, 64]")
+	ErrBadTarget = errors.New("bloom: target false-positive rate must be in (0, 1)")
+)
+
+// New creates a filter with the given size in bits and number of hash
+// functions.
+func New(mBits uint64, k int) (*Filter, error) {
+	if mBits == 0 {
+		return nil, ErrBadSize
+	}
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadHashes, k)
+	}
+	return &Filter{
+		bits:  make([]uint64, (mBits+63)/64),
+		mBits: mBits,
+		k:     k,
+	}, nil
+}
+
+// NewWithEstimate sizes a filter for n expected elements at the target
+// false-positive rate, using the optimal m = -n·ln(p)/ln(2)² and
+// k = (m/n)·ln(2).
+func NewWithEstimate(n int, fpRate float64) (*Filter, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSize, n)
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrBadTarget, fpRate)
+	}
+	m := math.Ceil(-float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2))
+	k := int(math.Round(m / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 64 {
+		k = 64
+	}
+	return New(uint64(m), k)
+}
+
+// Insert adds an element.
+func (f *Filter) Insert(item []byte) {
+	h1, h2 := f.hashPair(item)
+	for i := 0; i < f.k; i++ {
+		f.setBit((h1 + uint64(i)*h2) % f.mBits)
+	}
+	f.n++
+}
+
+// InsertPrefix adds a Safe Browsing 32-bit prefix.
+func (f *Filter) InsertPrefix(p hashx.Prefix) {
+	b := p.Bytes()
+	f.Insert(b[:])
+}
+
+// Contains reports whether the element may be present. False positives
+// occur at the filter's false-positive rate; false negatives never occur.
+func (f *Filter) Contains(item []byte) bool {
+	h1, h2 := f.hashPair(item)
+	for i := 0; i < f.k; i++ {
+		if !f.getBit((h1 + uint64(i)*h2) % f.mBits) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPrefix reports whether the 32-bit prefix may be present.
+func (f *Filter) ContainsPrefix(p hashx.Prefix) bool {
+	b := p.Bytes()
+	return f.Contains(b[:])
+}
+
+// Len returns the number of inserted elements.
+func (f *Filter) Len() int { return f.n }
+
+// SizeBytes returns the memory footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// EstimatedFalsePositiveRate returns (1 - e^(-kn/m))^k for the current
+// fill level.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.n) / float64(f.mBits)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// hashPair derives two independent 64-bit hashes for double hashing.
+func (f *Filter) hashPair(item []byte) (uint64, uint64) {
+	h := fnv.New128a()
+	h.Write(item) //nolint:errcheck // fnv never fails
+	var sum [16]byte
+	h.Sum(sum[:0])
+	h1 := binary.BigEndian.Uint64(sum[0:8])
+	h2 := binary.BigEndian.Uint64(sum[8:16])
+	// h2 must be odd so that the double-hashing probe sequence cycles
+	// through the whole table even for power-of-two sizes.
+	h2 |= 1
+	return h1, h2
+}
+
+func (f *Filter) setBit(i uint64) { f.bits[i/64] |= 1 << (i % 64) }
+func (f *Filter) getBit(i uint64) bool {
+	return f.bits[i/64]&(1<<(i%64)) != 0
+}

@@ -1,0 +1,189 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbprivacy/internal/hashx"
+)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(0, 3); err == nil {
+		t.Error("New(0, 3): want error")
+	}
+	if _, err := New(100, 0); err == nil {
+		t.Error("New(100, 0): want error")
+	}
+	if _, err := New(100, 65); err == nil {
+		t.Error("New(100, 65): want error")
+	}
+	if _, err := NewWithEstimate(0, 0.01); err == nil {
+		t.Error("NewWithEstimate(0, 0.01): want error")
+	}
+	if _, err := NewWithEstimate(10, 0); err == nil {
+		t.Error("NewWithEstimate(10, 0): want error")
+	}
+	if _, err := NewWithEstimate(10, 1); err == nil {
+		t.Error("NewWithEstimate(10, 1): want error")
+	}
+}
+
+// TestNoFalseNegatives is the fundamental Bloom filter invariant: every
+// inserted element is found.
+func TestNoFalseNegatives(t *testing.T) {
+	t.Parallel()
+	f, err := NewWithEstimate(10000, 0.01)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	items := make([][]byte, 10000)
+	for i := range items {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, rng.Uint64())
+		items[i] = b
+		f.Insert(b)
+	}
+	for i, it := range items {
+		if !f.Contains(it) {
+			t.Fatalf("false negative for item %d", i)
+		}
+	}
+	if f.Len() != 10000 {
+		t.Errorf("Len = %d, want 10000", f.Len())
+	}
+}
+
+// TestFalsePositiveRateNearTarget: the measured FPR on non-members should
+// be within a small factor of the configured target.
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	t.Parallel()
+	const n = 20000
+	const target = 0.01
+	f, err := NewWithEstimate(n, target)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	member := make(map[uint64]struct{}, n)
+	for i := 0; i < n; i++ {
+		v := rng.Uint64()
+		member[v] = struct{}{}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		f.Insert(b[:])
+	}
+	fp, trials := 0, 0
+	for trials < 100000 {
+		v := rng.Uint64()
+		if _, in := member[v]; in {
+			continue
+		}
+		trials++
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		if f.Contains(b[:]) {
+			fp++
+		}
+	}
+	got := float64(fp) / float64(trials)
+	if got > 3*target {
+		t.Errorf("measured FPR %.4f exceeds 3x target %.4f", got, target)
+	}
+	est := f.EstimatedFalsePositiveRate()
+	if est <= 0 || est > 3*target {
+		t.Errorf("estimated FPR %.5f implausible for target %.4f", est, target)
+	}
+}
+
+// TestSizeIndependentOfItemWidth reproduces the paper's Table 2
+// observation: the filter footprint depends only on (n, fpr), not on the
+// prefix length stored.
+func TestSizeIndependentOfItemWidth(t *testing.T) {
+	t.Parallel()
+	f32, err := NewWithEstimate(1000, 0.001)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	f256, err := NewWithEstimate(1000, 0.001)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		small := make([]byte, 4)
+		large := make([]byte, 32)
+		rng.Read(small)
+		rng.Read(large)
+		f32.Insert(small)
+		f256.Insert(large)
+	}
+	if f32.SizeBytes() != f256.SizeBytes() {
+		t.Errorf("size differs with item width: %d vs %d", f32.SizeBytes(), f256.SizeBytes())
+	}
+}
+
+func TestSizingMath(t *testing.T) {
+	t.Parallel()
+	// m = -n ln p / ln2^2; for n=1000, p=0.01: m ~ 9585 bits, k ~ 7.
+	f, err := NewWithEstimate(1000, 0.01)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	wantBits := -1000 * math.Log(0.01) / (math.Ln2 * math.Ln2)
+	gotBits := float64(f.SizeBytes() * 8)
+	if gotBits < wantBits || gotBits > wantBits+64 {
+		t.Errorf("size = %.0f bits, want ~%.0f", gotBits, wantBits)
+	}
+	if f.K() != 7 {
+		t.Errorf("K = %d, want 7", f.K())
+	}
+}
+
+func TestPrefixHelpers(t *testing.T) {
+	t.Parallel()
+	f, err := NewWithEstimate(100, 0.01)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	p := hashx.SumPrefix("petsymposium.org/")
+	f.InsertPrefix(p)
+	if !f.ContainsPrefix(p) {
+		t.Error("ContainsPrefix(inserted) = false")
+	}
+}
+
+// TestInsertContainsProperty: anything inserted is contained, regardless
+// of content.
+func TestInsertContainsProperty(t *testing.T) {
+	t.Parallel()
+	f, err := NewWithEstimate(5000, 0.01)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	check := func(item []byte) bool {
+		f.Insert(item)
+		return f.Contains(item)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	t.Parallel()
+	f, err := New(1024, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Error("empty filter FPR should be 0")
+	}
+	if f.Contains([]byte("anything")) {
+		t.Error("empty filter claims membership")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbserver"
+)
+
+// AggregationWindow groups one client's prefixes observed within a time
+// window — the Section 4 threat "the SB servers may aggregate requests
+// for full hashes and exploit the temporal correlation between the
+// queries". A URL whose prefixes arrive in separate lookups (because of
+// caching, or the one-prefix-at-a-time mitigation) is reassembled here.
+type AggregationWindow struct {
+	ClientID string
+	Start    time.Time
+	End      time.Time
+	// Prefixes is the union of prefixes the client revealed in the
+	// window, deduplicated, in first-seen order.
+	Prefixes []hashx.Prefix
+}
+
+// AggregateProbes partitions a probe log per client into windows: a new
+// window starts when the gap since the client's previous probe exceeds
+// the window duration. Windows are returned sorted by client, then time.
+func AggregateProbes(probes []sbserver.Probe, window time.Duration) []AggregationWindow {
+	byClient := make(map[string][]sbserver.Probe)
+	for _, p := range probes {
+		byClient[p.ClientID] = append(byClient[p.ClientID], p)
+	}
+	clients := make([]string, 0, len(byClient))
+	for c := range byClient {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+
+	var out []AggregationWindow
+	for _, client := range clients {
+		ps := byClient[client]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Time.Before(ps[j].Time) })
+		var cur *AggregationWindow
+		var seen map[hashx.Prefix]struct{}
+		for _, p := range ps {
+			if cur == nil || p.Time.Sub(cur.End) > window {
+				if cur != nil {
+					out = append(out, *cur)
+				}
+				cur = &AggregationWindow{ClientID: client, Start: p.Time, End: p.Time}
+				seen = make(map[hashx.Prefix]struct{})
+			}
+			cur.End = p.Time
+			for _, prefix := range p.Prefixes {
+				if _, dup := seen[prefix]; dup {
+					continue
+				}
+				seen[prefix] = struct{}{}
+				cur.Prefixes = append(cur.Prefixes, prefix)
+			}
+		}
+		if cur != nil {
+			out = append(out, *cur)
+		}
+	}
+	return out
+}
+
+// ReidentifyAggregated runs re-identification over every aggregation
+// window of a probe log: the provider's offline batch analysis. Windows
+// with fewer than two prefixes are skipped (single prefixes stay
+// k-anonymous, Section 5).
+func (x *Index) ReidentifyAggregated(probes []sbserver.Probe, window time.Duration) map[string][]Reidentification {
+	out := make(map[string][]Reidentification)
+	for _, w := range AggregateProbes(probes, window) {
+		if len(w.Prefixes) < 2 {
+			continue
+		}
+		re := x.Reidentify(w.Prefixes)
+		if len(re.Candidates) == 0 {
+			// The full union may mix unrelated URLs; fall back to pairs
+			// so cross-URL noise cannot mask a related pair.
+			for i := 0; i < len(w.Prefixes) && len(re.Candidates) == 0; i++ {
+				for j := i + 1; j < len(w.Prefixes); j++ {
+					pair := x.Reidentify([]hashx.Prefix{w.Prefixes[i], w.Prefixes[j]})
+					if len(pair.Candidates) > 0 {
+						re = pair
+						break
+					}
+				}
+			}
+		}
+		if len(re.Candidates) > 0 {
+			out[w.ClientID] = append(out[w.ClientID], re)
+		}
+	}
+	return out
+}

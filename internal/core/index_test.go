@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"sbprivacy/internal/hashx"
+)
+
+// table7URLs is the sample domain of the paper's Table 7: b.c hosts
+// a.b.c/1 and its decompositions, and nothing else.
+var table7URLs = []string{
+	"a.b.c/1",
+	"a.b.c/",
+	"b.c/1",
+	"b.c/",
+}
+
+// Table 7 prefixes.
+var (
+	prefixA = hashx.SumPrefix("a.b.c/1")
+	prefixB = hashx.SumPrefix("a.b.c/")
+	prefixC = hashx.SumPrefix("b.c/1")
+	prefixD = hashx.SumPrefix("b.c/")
+)
+
+func TestIndexBasics(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(table7URLs)
+	if x.Len() != 4 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	if got := x.DomainURLs("b.c"); len(got) != 4 {
+		t.Errorf("DomainURLs(b.c) = %v", got)
+	}
+	if got := x.DomainURLs("other.example"); len(got) != 0 {
+		t.Errorf("DomainURLs(other) = %v", got)
+	}
+	doms := x.Domains()
+	if len(doms) != 1 || doms[0] != "b.c" {
+		t.Errorf("Domains = %v", doms)
+	}
+}
+
+func TestKAnonymity(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(table7URLs)
+	// Each of the four expressions is distinct, so every prefix has a
+	// k-anonymity set of exactly 1: fully re-identifiable.
+	for _, p := range []hashx.Prefix{prefixA, prefixB, prefixC, prefixD} {
+		if got := x.KAnonymity(p); got != 1 {
+			t.Errorf("KAnonymity(%v) = %d, want 1", p, got)
+		}
+	}
+	if got := x.KAnonymity(0x01020304); got != 0 {
+		t.Errorf("KAnonymity(unknown) = %d, want 0", got)
+	}
+	_, maxN := x.MaxKAnonymity()
+	if maxN != 1 {
+		t.Errorf("MaxKAnonymity = %d", maxN)
+	}
+	_, minN := x.MinKAnonymity()
+	if minN != 1 {
+		t.Errorf("MinKAnonymity = %d", minN)
+	}
+	hist := x.KAnonymityHistogram()
+	if hist[1] != 4 || len(hist) != 1 {
+		t.Errorf("histogram = %v", hist)
+	}
+}
+
+func TestKAnonymityEmptyIndex(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(nil)
+	if _, n := x.MaxKAnonymity(); n != 0 {
+		t.Errorf("empty MaxKAnonymity = %d", n)
+	}
+	if _, n := x.MinKAnonymity(); n != 0 {
+		t.Errorf("empty MinKAnonymity = %d", n)
+	}
+}
+
+// TestKAnonymityCountsDistinctExpressions: expressions shared by several
+// URLs count once — the anonymity set is over expressions, not URLs.
+func TestKAnonymityCountsDistinctExpressions(t *testing.T) {
+	t.Parallel()
+	x := NewIndex([]string{
+		"a.example/p1.html",
+		"a.example/p2.html",
+		"a.example/p3.html",
+	})
+	// The shared domain-root expression a.example/ appears in all three
+	// URLs' decompositions but is one expression.
+	if got := x.KAnonymity(hashx.SumPrefix("a.example/")); got != 1 {
+		t.Errorf("KAnonymity(a.example/) = %d, want 1", got)
+	}
+}
+
+func TestReidentifySinglePrefix(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(table7URLs)
+	re := x.Reidentify([]hashx.Prefix{prefixD})
+	// Every URL on b.c decomposes through b.c/, so all four remain
+	// candidates: a single domain-root prefix does not identify the URL...
+	if len(re.Candidates) != 4 || re.Exact {
+		t.Errorf("single prefix candidates = %v", re.Candidates)
+	}
+	// ...but it does identify the domain.
+	if re.CommonDomain != "b.c" {
+		t.Errorf("CommonDomain = %q", re.CommonDomain)
+	}
+}
+
+// TestReidentifyCase1: prefixes A and B (both decompositions contain the
+// subdomain 'a') uniquely identify a.b.c/1.
+func TestReidentifyCase1(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(table7URLs)
+	re := x.Reidentify([]hashx.Prefix{prefixA, prefixB})
+	if !re.Exact || len(re.Candidates) != 1 || re.Candidates[0] != "a.b.c/1" {
+		t.Errorf("Case 1: %+v", re)
+	}
+}
+
+// TestReidentifyCase2: prefixes C and D leave ambiguity between a.b.c/1
+// and b.c/1 (superset semantics); adding prefix A to the database
+// resolves it, exactly as the paper describes.
+func TestReidentifyCase2(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(table7URLs)
+	re := x.Reidentify([]hashx.Prefix{prefixC, prefixD})
+	if re.Exact {
+		t.Fatalf("Case 2 should be ambiguous, got %v", re.Candidates)
+	}
+	want := map[string]bool{"a.b.c/1": true, "b.c/1": true}
+	if len(re.Candidates) != 2 {
+		t.Fatalf("Case 2 candidates = %v", re.Candidates)
+	}
+	for _, c := range re.Candidates {
+		if !want[c] {
+			t.Errorf("unexpected candidate %q", c)
+		}
+	}
+	// Ambiguity still identifies the domain.
+	if re.CommonDomain != "b.c" {
+		t.Errorf("CommonDomain = %q", re.CommonDomain)
+	}
+
+	// Disambiguation: the provider additionally plants A. A client
+	// visiting a.b.c/1 now sends {A, C, D}; a client visiting b.c/1
+	// still sends {C, D}.
+	db := map[hashx.Prefix]struct{}{
+		prefixA: {}, prefixC: {}, prefixD: {},
+	}
+	visitDeep := x.AnalyzeVisit("a.b.c/1", db)
+	if !visitDeep.Resolved || len(visitDeep.Received) != 3 {
+		t.Errorf("visit a.b.c/1 with {A,C,D}: %+v", visitDeep)
+	}
+	visitShallow := x.AnalyzeVisit("b.c/1", db)
+	if !visitShallow.Resolved || len(visitShallow.Received) != 2 {
+		t.Errorf("visit b.c/1 with {A,C,D}: %+v", visitShallow)
+	}
+}
+
+// TestReidentifyCase3: a hit on prefix A alone already identifies
+// a.b.c/1 because A is the URL's own expression.
+func TestReidentifyCase3(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(table7URLs)
+	db := map[hashx.Prefix]struct{}{prefixA: {}, prefixD: {}}
+	visit := x.AnalyzeVisit("a.b.c/1", db)
+	if !visit.Resolved {
+		t.Errorf("Case 3 with {A,D}: %+v", visit)
+	}
+}
+
+func TestReidentifyEmptyAndUnknown(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(table7URLs)
+	if re := x.Reidentify(nil); len(re.Candidates) != 0 || re.Exact {
+		t.Errorf("Reidentify(nil) = %+v", re)
+	}
+	if re := x.Reidentify([]hashx.Prefix{0xdeadbeef}); len(re.Candidates) != 0 {
+		t.Errorf("Reidentify(unknown) = %+v", re)
+	}
+	if re := x.ReidentifyWithDatabase(nil, nil); len(re.Candidates) != 0 {
+		t.Errorf("ReidentifyWithDatabase(nil) = %+v", re)
+	}
+}
+
+// TestReidentifyAcrossDomains: candidates from different domains yield no
+// common domain.
+func TestReidentifyAcrossDomains(t *testing.T) {
+	t.Parallel()
+	x := NewIndex([]string{"one.example/", "two.example/"})
+	// Both domain roots share no prefixes, so craft a query on one.
+	re := x.Reidentify([]hashx.Prefix{hashx.SumPrefix("one.example/")})
+	if re.CommonDomain != "one.example" {
+		t.Errorf("CommonDomain = %q", re.CommonDomain)
+	}
+}
+
+// TestReidentifyPETSLeaf reproduces the paper's tracking example: the
+// prefixes of the CFP page and the domain root uniquely identify the CFP
+// page among the PETS site URLs.
+func TestReidentifyPETSLeaf(t *testing.T) {
+	t.Parallel()
+	x := NewIndex([]string{
+		"petsymposium.org/",
+		"petsymposium.org/2016/",
+		"petsymposium.org/2016/cfp.php",
+		"petsymposium.org/2016/links.php",
+		"petsymposium.org/2016/faqs.php",
+	})
+	re := x.Reidentify([]hashx.Prefix{
+		0xe70ee6d1, // petsymposium.org/2016/cfp.php (Table 4)
+		0x33a02ef5, // petsymposium.org/
+	})
+	if !re.Exact || re.Candidates[0] != "petsymposium.org/2016/cfp.php" {
+		t.Errorf("PETS leaf: %+v", re)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbserver"
+)
+
+func probeAt(sec int64, client string, prefixes ...hashx.Prefix) sbserver.Probe {
+	return sbserver.Probe{
+		Time:     time.Unix(sec, 0),
+		ClientID: client,
+		Prefixes: prefixes,
+	}
+}
+
+// TestCorrelatorPaperExample reproduces Section 6.3's closing scenario: a
+// client querying the CFP prefix (0xe70ee6d1) and the submission-site
+// prefix in a short period is planning to submit a paper.
+func TestCorrelatorPaperExample(t *testing.T) {
+	t.Parallel()
+	cfp := hashx.SumPrefix("petsymposium.org/2016/cfp.php")
+	submission := hashx.SumPrefix("petsymposium.org/2016/submission/")
+	rule := CorrelationRule{
+		Name:     "pets-author",
+		Prefixes: []hashx.Prefix{cfp, submission},
+		Window:   time.Hour,
+	}
+	c := NewCorrelator(rule)
+
+	c.Observe(probeAt(1000, "author", cfp))
+	if len(c.Events()) != 0 {
+		t.Fatal("rule fired on first prefix alone")
+	}
+	c.Observe(probeAt(1300, "author", submission))
+	events := c.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Rule != "pets-author" || events[0].ClientID != "author" {
+		t.Errorf("event = %+v", events[0])
+	}
+	if !events[0].First.Equal(time.Unix(1000, 0)) || !events[0].Last.Equal(time.Unix(1300, 0)) {
+		t.Errorf("span = %v..%v", events[0].First, events[0].Last)
+	}
+}
+
+// TestCorrelatorWindowExpiry: prefixes further apart than the window do
+// not correlate.
+func TestCorrelatorWindowExpiry(t *testing.T) {
+	t.Parallel()
+	rule := NewCorrelationRule("visit-both", time.Minute,
+		"a.example/", "b.example/")
+	c := NewCorrelator(rule)
+	c.Observe(probeAt(0, "u", hashx.SumPrefix("a.example/")))
+	c.Observe(probeAt(120, "u", hashx.SumPrefix("b.example/")))
+	if len(c.Events()) != 0 {
+		t.Errorf("rule fired across an expired window: %+v", c.Events())
+	}
+	// A fresh pair within the window fires.
+	c.Observe(probeAt(130, "u", hashx.SumPrefix("a.example/")))
+	if len(c.Events()) != 1 {
+		t.Errorf("rule missed in-window pair: %+v", c.Events())
+	}
+}
+
+// TestCorrelatorPerClientIsolation: prefixes from different cookies never
+// correlate — the SB cookie is what links the queries.
+func TestCorrelatorPerClientIsolation(t *testing.T) {
+	t.Parallel()
+	rule := NewCorrelationRule("visit-both", time.Hour,
+		"a.example/", "b.example/")
+	c := NewCorrelator(rule)
+	c.Observe(probeAt(0, "u1", hashx.SumPrefix("a.example/")))
+	c.Observe(probeAt(10, "u2", hashx.SumPrefix("b.example/")))
+	if len(c.Events()) != 0 {
+		t.Errorf("cross-client correlation: %+v", c.Events())
+	}
+}
+
+// TestCorrelatorDeduplicatesEpisode: repeated probes within one episode
+// fire once.
+func TestCorrelatorDeduplicatesEpisode(t *testing.T) {
+	t.Parallel()
+	a, b := hashx.SumPrefix("a.example/"), hashx.SumPrefix("b.example/")
+	rule := CorrelationRule{Name: "r", Prefixes: []hashx.Prefix{a, b}, Window: time.Hour}
+	c := NewCorrelator(rule)
+	c.Observe(probeAt(0, "u", a, b))
+	c.Observe(probeAt(10, "u", a))
+	c.Observe(probeAt(20, "u", b))
+	if got := len(c.Events()); got != 1 {
+		t.Errorf("events = %d, want 1 (episode dedup)", got)
+	}
+}
+
+// TestCorrelatorSingleProbeAllPrefixes: one multi-prefix probe can
+// satisfy a rule alone.
+func TestCorrelatorSingleProbeAllPrefixes(t *testing.T) {
+	t.Parallel()
+	a, b := hashx.SumPrefix("x.example/"), hashx.SumPrefix("x.example/page")
+	rule := CorrelationRule{Name: "multi", Prefixes: []hashx.Prefix{a, b}, Window: time.Minute}
+	c := NewCorrelator(rule)
+	c.Observe(probeAt(5, "u", a, b))
+	events := c.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	if !events[0].First.Equal(events[0].Last) {
+		t.Errorf("single-probe span = %v..%v", events[0].First, events[0].Last)
+	}
+}
+
+func TestNewCorrelationRuleHashesURLs(t *testing.T) {
+	t.Parallel()
+	rule := NewCorrelationRule("r", time.Minute, "petsymposium.org/2016/cfp.php")
+	if len(rule.Prefixes) != 1 || rule.Prefixes[0] != 0xe70ee6d1 {
+		t.Errorf("rule prefixes = %v", rule.Prefixes)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbserver"
+)
+
+// Certainty grades a tracking event.
+type Certainty int
+
+// Certainty levels.
+const (
+	// CertaintyDomain: the client visited some URL on the target domain.
+	CertaintyDomain Certainty = iota + 1
+	// CertaintyCollider: the client visited a known Type I collider of
+	// the target.
+	CertaintyCollider
+	// CertaintyExact: the client visited the target URL itself.
+	CertaintyExact
+)
+
+// String names the certainty level.
+func (c Certainty) String() string {
+	switch c {
+	case CertaintyDomain:
+		return "domain"
+	case CertaintyCollider:
+		return "collider"
+	case CertaintyExact:
+		return "exact"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one tracking observation: a client (identified by its Safe
+// Browsing cookie) matched a plan.
+type Event struct {
+	Time time.Time
+	// ClientID is the Safe Browsing cookie of Section 2.2.3.
+	ClientID string
+	// Target is the plan's target URL.
+	Target string
+	// URL is the most specific URL the observation supports.
+	URL string
+	// Certainty grades the match.
+	Certainty Certainty
+	// MatchedPrefixes are the plan prefixes present in the probe.
+	MatchedPrefixes []hashx.Prefix
+}
+
+// Tracker is the provider-side consumer of the probe log: it watches
+// full-hash requests for combinations of shadow-database prefixes and
+// emits tracking events. It implements sbserver.ProbeSink, so it can be
+// subscribed directly to a server. Safe for concurrent use.
+type Tracker struct {
+	mu     sync.Mutex
+	plans  []*TrackingPlan
+	events []Event
+}
+
+var _ sbserver.ProbeSink = (*Tracker)(nil)
+
+// NewTracker builds a tracker over the given plans.
+func NewTracker(plans ...*TrackingPlan) *Tracker {
+	return &Tracker{plans: append([]*TrackingPlan(nil), plans...)}
+}
+
+// AddPlan registers another plan.
+func (t *Tracker) AddPlan(plan *TrackingPlan) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.plans = append(t.plans, plan)
+}
+
+// Observe implements sbserver.ProbeSink: it matches one probe against
+// every plan. Per the paper, a client is identified "each time their
+// servers receive a query with at least two prefixes present in the
+// shadow database".
+func (t *Tracker) Observe(probe sbserver.Probe) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	probeSet := make(map[hashx.Prefix]struct{}, len(probe.Prefixes))
+	for _, p := range probe.Prefixes {
+		probeSet[p] = struct{}{}
+	}
+	for _, plan := range t.plans {
+		var matched []hashx.Prefix
+		targetHit := false
+		colliderHit := ""
+		for i, p := range plan.Prefixes {
+			if _, ok := probeSet[p]; !ok {
+				continue
+			}
+			matched = append(matched, p)
+			expr := plan.Expressions[i]
+			if expr == plan.Target {
+				targetHit = true
+			}
+			for _, c := range plan.TypeIColliders {
+				if expr == c {
+					colliderHit = c
+				}
+			}
+		}
+		if len(matched) < 2 {
+			continue
+		}
+		ev := Event{
+			Time:            probe.Time,
+			ClientID:        probe.ClientID,
+			Target:          plan.Target,
+			MatchedPrefixes: matched,
+		}
+		// Collider evidence outranks target evidence: a non-leaf target's
+		// prefix also fires when a client visits one of its Type I
+		// colliders (the target is among the collider's decompositions),
+		// so a matched collider prefix is the deeper, more specific
+		// observation.
+		switch {
+		case colliderHit != "":
+			ev.Certainty = CertaintyCollider
+			ev.URL = colliderHit
+		case plan.Mode != TrackDomainOnly && targetHit:
+			ev.Certainty = CertaintyExact
+			ev.URL = plan.Target
+		default:
+			ev.Certainty = CertaintyDomain
+			ev.URL = plan.Domain + "/"
+		}
+		t.events = append(t.events, ev)
+	}
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracker) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// EventsFor returns the events recorded for one client.
+func (t *Tracker) EventsFor(clientID string) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	for _, e := range t.events {
+		if e.ClientID == clientID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ShadowPrefixes returns the union of all plan prefixes: the shadow
+// database the provider inserts into clients' local databases.
+func (t *Tracker) ShadowPrefixes() []hashx.Prefix {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[hashx.Prefix]struct{})
+	var out []hashx.Prefix
+	for _, plan := range t.plans {
+		for _, p := range plan.Prefixes {
+			if _, dup := seen[p]; !dup {
+				seen[p] = struct{}{}
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// ShadowExpressions returns the union of all plan expressions, parallel
+// in meaning to ShadowPrefixes (used to plant full digests server-side so
+// lookups behave normally).
+func (t *Tracker) ShadowExpressions() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[string]struct{})
+	var out []string
+	for _, plan := range t.plans {
+		for _, e := range plan.Expressions {
+			if _, dup := seen[e]; !dup {
+				seen[e] = struct{}{}
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}

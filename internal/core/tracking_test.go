@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"sbprivacy/internal/hashx"
+)
+
+func petsIndex() *Index {
+	return NewIndex([]string{
+		"petsymposium.org/",
+		"petsymposium.org/2016/",
+		"petsymposium.org/2016/cfp.php",
+		"petsymposium.org/2016/links.php",
+		"petsymposium.org/2016/faqs.php",
+	})
+}
+
+// TestAlgorithm1LeafTarget reproduces the paper's first worked example:
+// the CFP page is a leaf, so two prefixes — the URL's own and the domain
+// root's — suffice.
+func TestAlgorithm1LeafTarget(t *testing.T) {
+	t.Parallel()
+	plan, err := BuildTrackingPlan(petsIndex(), "https://petsymposium.org/2016/cfp.php", 0)
+	if err != nil {
+		t.Fatalf("BuildTrackingPlan: %v", err)
+	}
+	if plan.Mode != TrackExactURL {
+		t.Errorf("Mode = %v", plan.Mode)
+	}
+	if len(plan.Prefixes) != 2 {
+		t.Fatalf("prefixes = %v", plan.Prefixes)
+	}
+	want := map[hashx.Prefix]bool{
+		0x33a02ef5: true, // petsymposium.org/
+		0xe70ee6d1: true, // petsymposium.org/2016/cfp.php
+	}
+	for _, p := range plan.Prefixes {
+		if !want[p] {
+			t.Errorf("unexpected prefix %v", p)
+		}
+	}
+	if plan.Domain != "petsymposium.org" {
+		t.Errorf("Domain = %q", plan.Domain)
+	}
+	if len(plan.TypeIColliders) != 0 {
+		t.Errorf("colliders = %v", plan.TypeIColliders)
+	}
+	wantFail := math.Pow(math.Exp2(-32), 2)
+	if plan.FailureProbability != wantFail {
+		t.Errorf("FailureProbability = %g, want %g", plan.FailureProbability, wantFail)
+	}
+}
+
+// TestAlgorithm1NonLeafTarget reproduces the second worked example:
+// tracking petsymposium.org/2016/ requires the prefixes of the target,
+// the domain and the Type I colliders (links.php, faqs.php, cfp.php) —
+// the paper counts 4 total with its two-collider snapshot; our index has
+// three colliders, so five prefixes, still within delta.
+func TestAlgorithm1NonLeafTarget(t *testing.T) {
+	t.Parallel()
+	plan, err := BuildTrackingPlan(petsIndex(), "https://petsymposium.org/2016/", 5)
+	if err != nil {
+		t.Fatalf("BuildTrackingPlan: %v", err)
+	}
+	if plan.Mode != TrackExactURL {
+		t.Errorf("Mode = %v", plan.Mode)
+	}
+	if len(plan.TypeIColliders) != 3 {
+		t.Errorf("colliders = %v", plan.TypeIColliders)
+	}
+	if len(plan.Prefixes) != 5 {
+		t.Fatalf("prefixes = %d: %v", len(plan.Prefixes), plan.Expressions)
+	}
+	mustInclude := []string{
+		"petsymposium.org/",
+		"petsymposium.org/2016/",
+		"petsymposium.org/2016/cfp.php",
+		"petsymposium.org/2016/links.php",
+		"petsymposium.org/2016/faqs.php",
+	}
+	have := make(map[string]bool, len(plan.Expressions))
+	for _, e := range plan.Expressions {
+		have[e] = true
+	}
+	for _, e := range mustInclude {
+		if !have[e] {
+			t.Errorf("plan missing expression %q", e)
+		}
+	}
+}
+
+// TestAlgorithm1DeltaExceeded: with delta = 2 the three colliders exceed
+// the budget, so only the SLD is trackable.
+func TestAlgorithm1DeltaExceeded(t *testing.T) {
+	t.Parallel()
+	plan, err := BuildTrackingPlan(petsIndex(), "https://petsymposium.org/2016/", 2)
+	if err != nil {
+		t.Fatalf("BuildTrackingPlan: %v", err)
+	}
+	if plan.Mode != TrackDomainOnly {
+		t.Errorf("Mode = %v, want domain-only", plan.Mode)
+	}
+	if len(plan.Prefixes) != 2 {
+		t.Errorf("prefixes = %v", plan.Expressions)
+	}
+}
+
+// TestAlgorithm1SmallSite: a domain whose URLs produce at most two
+// decompositions is covered entirely (lines 8-10).
+func TestAlgorithm1SmallSite(t *testing.T) {
+	t.Parallel()
+	x := NewIndex([]string{"tiny.example/"})
+	plan, err := BuildTrackingPlan(x, "http://tiny.example/", 0)
+	if err != nil {
+		t.Fatalf("BuildTrackingPlan: %v", err)
+	}
+	if plan.Mode != TrackSmallSite {
+		t.Errorf("Mode = %v", plan.Mode)
+	}
+	if len(plan.Prefixes) != 1 {
+		t.Errorf("prefixes = %v", plan.Expressions)
+	}
+	if plan.Expressions[0] != "tiny.example/" {
+		t.Errorf("expressions = %v", plan.Expressions)
+	}
+}
+
+func TestAlgorithm1Errors(t *testing.T) {
+	t.Parallel()
+	x := petsIndex()
+	if _, err := BuildTrackingPlan(x, "http://unknown.example/page", 0); !errors.Is(err, ErrNotIndexed) {
+		t.Errorf("unknown domain: err = %v", err)
+	}
+	if _, err := BuildTrackingPlan(x, "", 0); err == nil {
+		t.Error("empty URL: want error")
+	}
+	if _, err := BuildTrackingPlan(x, "https://petsymposium.org/2016/cfp.php", 1); err == nil {
+		t.Error("delta = 1: want error")
+	}
+}
+
+// TestAlgorithm1TracksSubdomainURLs: a target on a subdomain still keys
+// off the registrable domain for the URL inventory.
+func TestAlgorithm1TracksSubdomainURLs(t *testing.T) {
+	t.Parallel()
+	x := NewIndex([]string{
+		"wps3b.17buddies.net/wp/cs_sub_7-2.pwf",
+		"wps3b.17buddies.net/wp/",
+		"17buddies.net/",
+	})
+	plan, err := BuildTrackingPlan(x, "http://wps3b.17buddies.net/wp/cs_sub_7-2.pwf", 0)
+	if err != nil {
+		t.Fatalf("BuildTrackingPlan: %v", err)
+	}
+	if plan.Domain != "17buddies.net" {
+		t.Errorf("Domain = %q", plan.Domain)
+	}
+	if plan.Mode != TrackExactURL {
+		t.Errorf("Mode = %v", plan.Mode)
+	}
+	// Algorithm 1 plants the prefix of the full canonical link (with the
+	// wps3b subdomain) plus the registrable-domain root. (Table 12's
+	// 0x18366658 is the prefix of the *decomposition* without the
+	// subdomain; that vector is pinned in hashx tests.)
+	want := map[hashx.Prefix]bool{
+		hashx.SumPrefix("wps3b.17buddies.net/wp/cs_sub_7-2.pwf"): true,
+		hashx.SumPrefix("17buddies.net/"):                        true,
+	}
+	for _, p := range plan.Prefixes {
+		if !want[p] {
+			t.Errorf("unexpected plan prefix %v (%v)", p, plan.Expressions)
+		}
+	}
+	if len(plan.Prefixes) != 2 {
+		t.Errorf("plan prefixes = %v", plan.Expressions)
+	}
+}
+
+// TestTrackingPlanReidentifies: planting the plan's prefixes makes the
+// target visit uniquely re-identifiable via exact-hit reasoning.
+func TestTrackingPlanReidentifies(t *testing.T) {
+	t.Parallel()
+	x := petsIndex()
+	for _, target := range []string{
+		"petsymposium.org/2016/cfp.php",
+		"petsymposium.org/2016/links.php",
+		"petsymposium.org/2016/",
+	} {
+		t.Run(target, func(t *testing.T) {
+			t.Parallel()
+			plan, err := BuildTrackingPlan(x, "https://"+target, 8)
+			if err != nil {
+				t.Fatalf("BuildTrackingPlan: %v", err)
+			}
+			db := make(map[hashx.Prefix]struct{}, len(plan.Prefixes))
+			for _, p := range plan.Prefixes {
+				db[p] = struct{}{}
+			}
+			visit := x.AnalyzeVisit(target, db)
+			if !visit.Resolved {
+				t.Errorf("target not re-identified: %+v", visit)
+			}
+		})
+	}
+}
+
+func TestTrackingModeStrings(t *testing.T) {
+	t.Parallel()
+	for mode, want := range map[TrackingMode]string{
+		TrackSmallSite:  "small-site",
+		TrackExactURL:   "exact-url",
+		TrackDomainOnly: "domain-only",
+	} {
+		if mode.String() != want {
+			t.Errorf("%d.String() = %q", mode, mode.String())
+		}
+	}
+	if TrackingMode(9).String() == "" {
+		t.Error("unknown mode String empty")
+	}
+}
+
+// TestAlgorithm1DeterministicOutput: identical inputs give identical
+// plans (expression order included).
+func TestAlgorithm1DeterministicOutput(t *testing.T) {
+	t.Parallel()
+	x := petsIndex()
+	a, err := BuildTrackingPlan(x, "https://petsymposium.org/2016/", 8)
+	if err != nil {
+		t.Fatalf("BuildTrackingPlan: %v", err)
+	}
+	b, err := BuildTrackingPlan(x, "https://petsymposium.org/2016/", 8)
+	if err != nil {
+		t.Fatalf("BuildTrackingPlan: %v", err)
+	}
+	if fmt.Sprint(a.Expressions) != fmt.Sprint(b.Expressions) {
+		t.Errorf("plans differ: %v vs %v", a.Expressions, b.Expressions)
+	}
+}

@@ -1,0 +1,44 @@
+package corpus
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFigure5CSV emits the per-host series behind Figures 5a-5f as CSV:
+// one row per host, sorted by URL count descending (the figures' x-axis
+// is host rank). Columns: rank, urls, cumulative_url_fraction,
+// unique_decompositions, mean/min/max decompositions per URL.
+func (ds *DatasetStats) WriteFigure5CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"rank,urls,cumulative_url_fraction,unique_decompositions,mean_decomps,min_decomps,max_decomps"); err != nil {
+		return err
+	}
+	cum := ds.CumulativeURLFraction()
+	for i, h := range ds.PerHost {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.6f,%d,%.3f,%d,%d\n",
+			i+1, h.URLs, cum[i], h.UniqueDecomps, h.MeanDecomps, h.MinDecomps, h.MaxDecomps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure6CSV emits the per-host collision series of Figure 6 as
+// CSV, restricted to hosts with at least one collision (the figure plots
+// non-zero collisions), sorted by host rank.
+func (ds *DatasetStats) WriteFigure6CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "rank,urls,unique_decompositions,prefix_collisions"); err != nil {
+		return err
+	}
+	for i, h := range ds.PerHost {
+		if h.PrefixCollisions == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d\n",
+			i+1, h.URLs, h.UniqueDecomps, h.PrefixCollisions); err != nil {
+			return err
+		}
+	}
+	return nil
+}

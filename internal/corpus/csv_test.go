@@ -1,0 +1,57 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteFigure5CSV(t *testing.T) {
+	t.Parallel()
+	ds := statsFixture(t, ProfileRandom, 100)
+	var sb strings.Builder
+	if err := ds.WriteFigure5CSV(&sb); err != nil {
+		t.Fatalf("WriteFigure5CSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 101 { // header + one row per host
+		t.Fatalf("lines = %d, want 101", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "rank,urls,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for i, line := range lines[1:] {
+		if n := strings.Count(line, ","); n != 6 {
+			t.Fatalf("row %d has %d commas: %q", i, n, line)
+		}
+	}
+	// Rows are rank-ordered starting at 1.
+	if !strings.HasPrefix(lines[1], "1,") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestWriteFigure6CSV(t *testing.T) {
+	t.Parallel()
+	// A host guaranteed to collide at 16 bits plus quiet hosts.
+	urls := make([]string, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		urls = append(urls, "big.example/p"+itoa(i)+".html")
+	}
+	c := &Corpus{Profile: ProfileRandom, Hosts: []Host{
+		{Domain: "big.example", URLs: urls},
+		{Domain: "small.example", URLs: []string{"small.example/"}},
+	}}
+	ds := ComputeStats(c, StatsOptions{PrefixBits: 16})
+	var sb strings.Builder
+	if err := ds.WriteFigure6CSV(&sb); err != nil {
+		t.Fatalf("WriteFigure6CSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// Header plus exactly the colliding host.
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[1], "1,2000,") {
+		t.Errorf("collision row = %q", lines[1])
+	}
+}

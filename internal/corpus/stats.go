@@ -1,0 +1,263 @@
+package corpus
+
+import (
+	"math"
+	"sort"
+
+	"sbprivacy/internal/hashx"
+)
+
+// HostStats are the per-host measurements behind Figures 5 and 6.
+type HostStats struct {
+	Domain string
+	// URLs is the page count (Figure 5a).
+	URLs int
+	// UniqueDecomps is the number of distinct decomposition expressions
+	// hosted on the domain (Figure 5c).
+	UniqueDecomps int
+	// MeanDecomps, MinDecomps and MaxDecomps describe decompositions per
+	// URL on this host (Figures 5d, 5e, 5f).
+	MeanDecomps float64
+	MinDecomps  int
+	MaxDecomps  int
+	// PrefixCollisions counts unordered pairs of distinct decomposition
+	// expressions whose l-bit digest prefixes collide (Figure 6).
+	PrefixCollisions int
+	// TypeICollisions counts (u, u') pairs, u != u', where u's expression
+	// appears among u''s decompositions — the re-identification ambiguity
+	// of Section 6.1.
+	TypeICollisions int
+	// NonLeafURLs counts URLs that are decompositions of other URLs on
+	// the host (the blue/white distinction of Figure 4).
+	NonLeafURLs int
+}
+
+// DatasetStats aggregates a corpus the way Section 6.2 reports it.
+type DatasetStats struct {
+	Profile Profile
+	// PerHost is sorted by URLs descending (the x-axis of Figure 5a).
+	PerHost []HostStats
+	// TotalURLs and TotalDecomps are the Table 8 columns.
+	TotalURLs    int
+	TotalDecomps int
+	// SinglePageHosts is the number of one-URL hosts.
+	SinglePageHosts int
+	// HostsWithoutTypeI is the count of domains with zero Type I
+	// collisions (56% random / 60% Alexa in the paper).
+	HostsWithoutTypeI int
+	// HostsWithPrefixCollisions counts domains with at least one digest
+	// prefix collision (0.26% random / 0.48% Alexa in the paper at 32
+	// bits and full scale).
+	HostsWithPrefixCollisions int
+	// Alpha and AlphaStdErr are the power-law MLE fit of Section 6.2.
+	Alpha       float64
+	AlphaStdErr float64
+}
+
+// StatsOptions tune the measurement.
+type StatsOptions struct {
+	// PrefixBits is the truncation length used for collision counting
+	// (Figure 6). The paper uses 32 at full scale; scaled-down corpora
+	// use 16 to preserve the birthday dynamics. Zero means 32.
+	PrefixBits int
+}
+
+// ComputeStats measures a corpus.
+func ComputeStats(c *Corpus, opts StatsOptions) *DatasetStats {
+	bits := opts.PrefixBits
+	if bits == 0 {
+		bits = 32
+	}
+	ds := &DatasetStats{Profile: c.Profile, PerHost: make([]HostStats, 0, len(c.Hosts))}
+	for i := range c.Hosts {
+		hs := computeHostStats(&c.Hosts[i], bits)
+		ds.PerHost = append(ds.PerHost, hs)
+		ds.TotalURLs += hs.URLs
+		ds.TotalDecomps += hs.UniqueDecomps
+		if hs.URLs == 1 {
+			ds.SinglePageHosts++
+		}
+		if hs.TypeICollisions == 0 {
+			ds.HostsWithoutTypeI++
+		}
+		if hs.PrefixCollisions > 0 {
+			ds.HostsWithPrefixCollisions++
+		}
+	}
+	sort.Slice(ds.PerHost, func(i, j int) bool { return ds.PerHost[i].URLs > ds.PerHost[j].URLs })
+	ds.Alpha, ds.AlphaStdErr = FitPowerLaw(urlCounts(ds.PerHost))
+	return ds
+}
+
+func urlCounts(hosts []HostStats) []int {
+	out := make([]int, len(hosts))
+	for i, h := range hosts {
+		out[i] = h.URLs
+	}
+	return out
+}
+
+func computeHostStats(h *Host, bits int) HostStats {
+	hs := HostStats{Domain: h.Domain, URLs: len(h.URLs), MinDecomps: math.MaxInt}
+
+	decompSet := make(map[string]struct{}, len(h.URLs)*3)
+	urlSet := make(map[string]struct{}, len(h.URLs))
+	for _, u := range h.URLs {
+		urlSet[u] = struct{}{}
+	}
+	totalDecomps := 0
+	for _, u := range h.URLs {
+		decomps := Decompositions(u)
+		nd := len(decomps)
+		totalDecomps += nd
+		if nd < hs.MinDecomps {
+			hs.MinDecomps = nd
+		}
+		if nd > hs.MaxDecomps {
+			hs.MaxDecomps = nd
+		}
+		for _, d := range decomps {
+			decompSet[d] = struct{}{}
+			if d == u {
+				continue
+			}
+			if _, other := urlSet[d]; other {
+				// d is itself a published URL and u decomposes to it:
+				// a Type I pair (d is non-leaf, counted below).
+				hs.TypeICollisions++
+			}
+		}
+	}
+	if hs.URLs == 0 {
+		hs.MinDecomps = 0
+	}
+	if hs.URLs > 0 {
+		hs.MeanDecomps = float64(totalDecomps) / float64(hs.URLs)
+	}
+	hs.UniqueDecomps = len(decompSet)
+
+	// Non-leaf URLs: URLs that appear in another URL's decompositions.
+	target := make(map[string]struct{}, len(h.URLs))
+	for _, u := range h.URLs {
+		for _, d := range Decompositions(u) {
+			if d != u {
+				target[d] = struct{}{}
+			}
+		}
+	}
+	for _, u := range h.URLs {
+		if _, hit := target[u]; hit {
+			hs.NonLeafURLs++
+		}
+	}
+
+	// Birthday collisions on truncated digests among unique
+	// decompositions (Figure 6).
+	hs.PrefixCollisions = countPrefixCollisions(decompSet, bits)
+	return hs
+}
+
+// countPrefixCollisions counts unordered pairs of distinct expressions
+// with equal bits-bit digest prefixes.
+func countPrefixCollisions(decomps map[string]struct{}, bits int) int {
+	if bits <= 0 || bits > 64 {
+		bits = 32
+	}
+	shift := uint(64 - bits)
+	buckets := make(map[uint64]int, len(decomps))
+	for d := range decomps {
+		digest := hashx.Sum(d)
+		key := beUint64(digest) >> shift
+		buckets[key]++
+	}
+	pairs := 0
+	for _, n := range buckets {
+		pairs += n * (n - 1) / 2
+	}
+	return pairs
+}
+
+func beUint64(d hashx.Digest) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(d[i])
+	}
+	return v
+}
+
+// FitPowerLaw computes the maximum-likelihood exponent of a discrete
+// power law with x_min = 1, exactly as Section 6.2:
+//
+//	alpha_hat = 1 + n (sum ln(x_i/x_min))^-1
+//	sigma     = (alpha_hat - 1) / sqrt(n)
+//
+// Hosts with x = 1 contribute ln 1 = 0, matching the paper's estimator.
+func FitPowerLaw(counts []int) (alphaHat, stdErr float64) {
+	n := 0
+	sumLn := 0.0
+	for _, x := range counts {
+		if x < 1 {
+			continue
+		}
+		n++
+		sumLn += math.Log(float64(x))
+	}
+	if n == 0 || sumLn == 0 {
+		return 0, 0
+	}
+	alphaHat = 1 + float64(n)/sumLn
+	stdErr = (alphaHat - 1) / math.Sqrt(float64(n))
+	return alphaHat, stdErr
+}
+
+// CumulativeURLFraction returns, for hosts sorted by URL count
+// descending, the cumulative fraction of all URLs covered by the top-k
+// hosts (Figure 5b). Index k holds the fraction covered by hosts [0, k].
+func (ds *DatasetStats) CumulativeURLFraction() []float64 {
+	out := make([]float64, len(ds.PerHost))
+	if ds.TotalURLs == 0 {
+		return out
+	}
+	running := 0
+	for i, h := range ds.PerHost {
+		running += h.URLs
+		out[i] = float64(running) / float64(ds.TotalURLs)
+	}
+	return out
+}
+
+// HostsToCoverFraction returns the number of top hosts needed to cover
+// the given fraction of URLs (the "19000 domains cover 80%" measurement).
+func (ds *DatasetStats) HostsToCoverFraction(fraction float64) int {
+	cum := ds.CumulativeURLFraction()
+	for i, f := range cum {
+		if f >= fraction {
+			return i + 1
+		}
+	}
+	return len(cum)
+}
+
+// MeanDecompsInRange counts hosts whose mean decompositions-per-URL falls
+// in [lo, hi] (the paper: 46% of hosts lie in [1, 5]).
+func (ds *DatasetStats) MeanDecompsInRange(lo, hi float64) int {
+	n := 0
+	for _, h := range ds.PerHost {
+		if h.MeanDecomps >= lo && h.MeanDecomps <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxDecompsAtMost counts hosts whose per-URL decomposition maximum is at
+// most k (the paper: 51% of random hosts at k=10).
+func (ds *DatasetStats) MaxDecompsAtMost(k int) int {
+	n := 0
+	for _, h := range ds.PerHost {
+		if h.MaxDecomps <= k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,220 @@
+package corpus
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func statsFixture(t *testing.T, profile Profile, hosts int) *DatasetStats {
+	t.Helper()
+	c := smallCorpus(t, profile, hosts)
+	return ComputeStats(c, StatsOptions{PrefixBits: 16})
+}
+
+func TestComputeStatsBasics(t *testing.T) {
+	t.Parallel()
+	ds := statsFixture(t, ProfileRandom, 500)
+	if len(ds.PerHost) != 500 {
+		t.Fatalf("PerHost = %d", len(ds.PerHost))
+	}
+	if !sort.SliceIsSorted(ds.PerHost, func(i, j int) bool {
+		return ds.PerHost[i].URLs > ds.PerHost[j].URLs
+	}) {
+		t.Error("PerHost not sorted by URLs descending")
+	}
+	totalURLs := 0
+	for _, h := range ds.PerHost {
+		totalURLs += h.URLs
+		if h.URLs <= 0 {
+			t.Errorf("host %s: %d URLs", h.Domain, h.URLs)
+		}
+		if h.UniqueDecomps < h.URLs {
+			// Every URL is one of its own decompositions, and domains add
+			// the root: unique decomps >= 1, usually >= URLs... but URLs
+			// sharing decompositions can compress below URLs only if
+			// duplicates — not possible since URLs are unique expressions
+			// and each is its own decomposition.
+			t.Errorf("host %s: %d unique decomps < %d URLs", h.Domain, h.UniqueDecomps, h.URLs)
+		}
+		if h.MinDecomps < 1 || h.MaxDecomps < h.MinDecomps {
+			t.Errorf("host %s: min/max decomps %d/%d", h.Domain, h.MinDecomps, h.MaxDecomps)
+		}
+		if h.MeanDecomps < float64(h.MinDecomps) || h.MeanDecomps > float64(h.MaxDecomps) {
+			t.Errorf("host %s: mean %f outside [%d,%d]", h.Domain, h.MeanDecomps, h.MinDecomps, h.MaxDecomps)
+		}
+	}
+	if ds.TotalURLs != totalURLs {
+		t.Errorf("TotalURLs = %d, sum = %d", ds.TotalURLs, totalURLs)
+	}
+}
+
+// TestSinglePageHostsHaveNoCollisions: a one-URL host can still have a
+// non-leaf situation only if its URL decomposes to itself... which is
+// impossible; so single-page hosts show zero Type I collisions.
+func TestSinglePageHostsHaveNoCollisions(t *testing.T) {
+	t.Parallel()
+	ds := statsFixture(t, ProfileRandom, 800)
+	for _, h := range ds.PerHost {
+		if h.URLs == 1 && h.TypeICollisions != 0 {
+			t.Errorf("single-page host %s has %d Type I collisions", h.Domain, h.TypeICollisions)
+		}
+		if h.URLs == 1 && h.NonLeafURLs != 0 {
+			t.Errorf("single-page host %s has %d non-leaf URLs", h.Domain, h.NonLeafURLs)
+		}
+	}
+}
+
+// TestTypeIStructure checks Type I bookkeeping on a hand-built host:
+// site/a/ is a decomposition of site/a/b.html, so the pair counts once
+// and site/a/ is non-leaf.
+func TestTypeIStructure(t *testing.T) {
+	t.Parallel()
+	h := Host{
+		Domain: "site.example",
+		URLs: []string{
+			"site.example/a/",
+			"site.example/a/b.html",
+			"site.example/c.html",
+		},
+	}
+	hs := computeHostStats(&h, 32)
+	if hs.TypeICollisions != 1 {
+		t.Errorf("TypeICollisions = %d, want 1", hs.TypeICollisions)
+	}
+	if hs.NonLeafURLs != 1 {
+		t.Errorf("NonLeafURLs = %d, want 1", hs.NonLeafURLs)
+	}
+	if hs.URLs != 3 {
+		t.Errorf("URLs = %d", hs.URLs)
+	}
+	// site/a/b.html decomposes to {itself, site/, site/a/}; c.html to
+	// {itself, site/}; site/a/ to {itself, site/}. Unique: 4
+	// (a/b.html, c.html, a/, and the root).
+	if hs.UniqueDecomps != 4 {
+		t.Errorf("UniqueDecomps = %d, want 4", hs.UniqueDecomps)
+	}
+}
+
+// TestLeafOnlyHostHasNoTypeI: flat sites (only files at the root, no
+// published directories) are all leaves.
+func TestLeafOnlyHostHasNoTypeI(t *testing.T) {
+	t.Parallel()
+	h := Host{
+		Domain: "flat.example",
+		URLs:   []string{"flat.example/a.html", "flat.example/b.html", "flat.example/c.html"},
+	}
+	hs := computeHostStats(&h, 32)
+	if hs.TypeICollisions != 0 || hs.NonLeafURLs != 0 {
+		t.Errorf("flat site: TypeI=%d NonLeaf=%d, want 0/0", hs.TypeICollisions, hs.NonLeafURLs)
+	}
+}
+
+// TestPrefixCollisionsBirthday: at 16-bit prefixes, a host with ~2^8+
+// decompositions starts to collide; the count should be near the
+// birthday expectation D^2/2^17.
+func TestPrefixCollisionsBirthday(t *testing.T) {
+	t.Parallel()
+	urls := make([]string, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		urls = append(urls, "big.example/p"+itoa(i)+".html")
+	}
+	h := Host{Domain: "big.example", URLs: urls}
+	hs := computeHostStats(&h, 16)
+	d := float64(hs.UniqueDecomps)
+	expect := d * d / (2 * 65536)
+	if hs.PrefixCollisions == 0 {
+		t.Fatal("no collisions at 16 bits with 3000 decompositions")
+	}
+	ratio := float64(hs.PrefixCollisions) / expect
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("collisions = %d, birthday expectation %.1f (ratio %.2f)",
+			hs.PrefixCollisions, expect, ratio)
+	}
+	// The same host at 32 bits should have (almost) none.
+	hs32 := computeHostStats(&h, 32)
+	if hs32.PrefixCollisions > 2 {
+		t.Errorf("collisions at 32 bits = %d, want ~0", hs32.PrefixCollisions)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func TestCumulativeURLFraction(t *testing.T) {
+	t.Parallel()
+	ds := statsFixture(t, ProfileAlexa, 400)
+	cum := ds.CumulativeURLFraction()
+	if len(cum) != 400 {
+		t.Fatalf("len = %d", len(cum))
+	}
+	prev := 0.0
+	for i, f := range cum {
+		if f < prev || f > 1.0001 {
+			t.Fatalf("cumulative fraction not monotone at %d: %f after %f", i, f, prev)
+		}
+		prev = f
+	}
+	if math.Abs(cum[len(cum)-1]-1) > 1e-9 {
+		t.Errorf("final fraction = %f, want 1", cum[len(cum)-1])
+	}
+	// Power-law concentration: the top 20% of hosts cover well over 20%
+	// of URLs.
+	if cum[len(cum)/5] < 0.4 {
+		t.Errorf("top 20%% hosts cover only %.2f of URLs", cum[len(cum)/5])
+	}
+	k := ds.HostsToCoverFraction(0.8)
+	if k <= 0 || k > 400 {
+		t.Errorf("HostsToCoverFraction(0.8) = %d", k)
+	}
+	if got := ds.HostsToCoverFraction(2.0); got != 400 {
+		t.Errorf("HostsToCoverFraction(2.0) = %d, want all hosts", got)
+	}
+}
+
+// TestPaperHeadlineStats loosely reproduces the Section 6.2 measurements
+// on a scaled random corpus: most hosts lack Type I collisions; a large
+// share of hosts have small mean decomposition counts.
+func TestPaperHeadlineStats(t *testing.T) {
+	t.Parallel()
+	ds := statsFixture(t, ProfileRandom, 1500)
+	n := float64(len(ds.PerHost))
+
+	noTypeI := float64(ds.HostsWithoutTypeI) / n
+	if noTypeI < 0.40 {
+		t.Errorf("hosts without Type I = %.2f, want a majority-ish share (paper: 0.56)", noTypeI)
+	}
+	meanLow := float64(ds.MeanDecompsInRange(1, 5)) / n
+	if meanLow < 0.30 {
+		t.Errorf("hosts with mean decomps in [1,5] = %.2f (paper: 0.46)", meanLow)
+	}
+	if ds.MaxDecompsAtMost(10) == 0 {
+		t.Error("no hosts with max decomps <= 10")
+	}
+	if ds.Alpha <= 1 {
+		t.Errorf("fitted alpha = %f", ds.Alpha)
+	}
+	if ds.SinglePageHosts == 0 {
+		t.Error("no single-page hosts in random profile")
+	}
+}
+
+func TestComputeStatsDefaultBits(t *testing.T) {
+	t.Parallel()
+	c := smallCorpus(t, ProfileRandom, 50)
+	ds := ComputeStats(c, StatsOptions{})
+	if ds.TotalURLs == 0 {
+		t.Error("default-bits stats empty")
+	}
+}

@@ -1,0 +1,145 @@
+package deltacoded
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadWidth reports an unsupported Wide prefix width.
+var ErrBadWidth = errors.New("deltacoded: wide prefix width must be in [5, 32] bytes")
+
+type wideAnchor struct {
+	value    uint32
+	deltaIdx uint32
+	elemIdx  uint32
+}
+
+// Wide is a delta-coded table for prefixes longer than 32 bits, used by
+// the paper's Table 2 to show how the delta-coded representation scales
+// with the prefix size. The leading 32 bits of each prefix are delta-coded
+// exactly like Table; the remaining tail bytes are stored raw, so the cost
+// is roughly 2 + (width-4) bytes per prefix.
+type Wide struct {
+	width   int
+	anchors []wideAnchor
+	deltas  []uint16
+	tails   []byte // n * (width-4) bytes
+	n       int
+}
+
+// BuildWide constructs a table from prefixes of the given byte width.
+// Input is copied, sorted lexicographically and deduplicated.
+func BuildWide(width int, prefixes [][]byte) (*Wide, error) {
+	if width < 5 || width > 32 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadWidth, width)
+	}
+	sorted := make([][]byte, 0, len(prefixes))
+	for _, p := range prefixes {
+		if len(p) != width {
+			return nil, fmt.Errorf("deltacoded: prefix has %d bytes, want %d", len(p), width)
+		}
+		sorted = append(sorted, p)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+
+	w := &Wide{width: width}
+	tailLen := width - 4
+	var prevLead uint32
+	run := 0
+	for i, p := range sorted {
+		if i > 0 && bytes.Equal(p, sorted[i-1]) {
+			continue // deduplicate
+		}
+		lead := binary.BigEndian.Uint32(p[:4])
+		switch {
+		case w.n == 0:
+			w.anchors = append(w.anchors, wideAnchor{value: lead})
+		default:
+			delta := uint64(lead) - uint64(prevLead)
+			if delta > 0xffff || run == maxRun {
+				w.anchors = append(w.anchors, wideAnchor{
+					value:    lead,
+					deltaIdx: uint32(len(w.deltas)),
+					elemIdx:  uint32(w.n),
+				})
+				run = 0
+			} else {
+				w.deltas = append(w.deltas, uint16(delta))
+				run++
+			}
+		}
+		w.tails = append(w.tails, p[4:]...)
+		prevLead = lead
+		w.n++
+		_ = tailLen
+	}
+	return w, nil
+}
+
+// Contains reports whether the exact prefix is present.
+func (w *Wide) Contains(prefix []byte) bool {
+	if len(prefix) != w.width || w.n == 0 {
+		return false
+	}
+	lead := binary.BigEndian.Uint32(prefix[:4])
+	tail := prefix[4:]
+
+	// First anchor with value >= lead.
+	fi := sort.Search(len(w.anchors), func(i int) bool { return w.anchors[i].value >= lead })
+	start := fi
+	if fi == len(w.anchors) || w.anchors[fi].value > lead {
+		start = fi - 1
+	} else if fi > 0 {
+		// Equal leads may spill backwards across an anchor boundary.
+		start = fi - 1
+	}
+	if start < 0 {
+		if fi == len(w.anchors) {
+			return false
+		}
+		start = 0
+	}
+
+	tailLen := w.width - 4
+	for r := start; r < len(w.anchors); r++ {
+		a := w.anchors[r]
+		if a.value > lead {
+			return false
+		}
+		cur := uint64(a.value)
+		elem := int(a.elemIdx)
+		end := uint32(len(w.deltas))
+		if r+1 < len(w.anchors) {
+			end = w.anchors[r+1].deltaIdx
+		}
+		if cur == uint64(lead) && bytes.Equal(w.tails[elem*tailLen:(elem+1)*tailLen], tail) {
+			return true
+		}
+		for j := a.deltaIdx; j < end; j++ {
+			cur += uint64(w.deltas[j])
+			elem++
+			if cur > uint64(lead) {
+				return false
+			}
+			if cur == uint64(lead) && bytes.Equal(w.tails[elem*tailLen:(elem+1)*tailLen], tail) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the number of stored prefixes.
+func (w *Wide) Len() int { return w.n }
+
+// Width returns the prefix width in bytes.
+func (w *Wide) Width() int { return w.width }
+
+// SizeBytes returns the memory footprint: 12 bytes per anchor, 2 per
+// delta, width-4 per tail.
+func (w *Wide) SizeBytes() int {
+	return len(w.anchors)*12 + len(w.deltas)*2 + len(w.tails)
+}

@@ -1,0 +1,183 @@
+package deltacoded
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func wideRandom(t *testing.T, width, n int, seed int64) (*Wide, [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	prefixes := make([][]byte, n)
+	for i := range prefixes {
+		b := make([]byte, width)
+		rng.Read(b)
+		prefixes[i] = b
+	}
+	w, err := BuildWide(width, prefixes)
+	if err != nil {
+		t.Fatalf("BuildWide: %v", err)
+	}
+	return w, prefixes
+}
+
+func TestBuildWideValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := BuildWide(4, nil); err == nil {
+		t.Error("BuildWide(4): want error (use Table for 32-bit prefixes)")
+	}
+	if _, err := BuildWide(33, nil); err == nil {
+		t.Error("BuildWide(33): want error")
+	}
+	if _, err := BuildWide(8, [][]byte{{1, 2, 3}}); err == nil {
+		t.Error("BuildWide with short prefix: want error")
+	}
+}
+
+func TestWideMembership(t *testing.T) {
+	t.Parallel()
+	for _, width := range []int{5, 8, 10, 16, 32} {
+		w, prefixes := wideRandom(t, width, 5000, int64(width))
+		for i, p := range prefixes {
+			if !w.Contains(p) {
+				t.Fatalf("width %d: missing member %d", width, i)
+			}
+		}
+		if w.Width() != width {
+			t.Errorf("Width = %d, want %d", w.Width(), width)
+		}
+		rng := rand.New(rand.NewSource(int64(width) + 100))
+		for i := 0; i < 5000; i++ {
+			probe := make([]byte, width)
+			rng.Read(probe)
+			want := false
+			for _, p := range prefixes {
+				if string(p) == string(probe) {
+					want = true
+					break
+				}
+			}
+			if w.Contains(probe) != want {
+				t.Fatalf("width %d: Contains(%x) = %v, want %v", width, probe, !want, want)
+			}
+		}
+	}
+}
+
+// TestWideSharedLeads forces many prefixes with identical leading 32 bits
+// (zero deltas), including runs long enough to span anchor boundaries.
+func TestWideSharedLeads(t *testing.T) {
+	t.Parallel()
+	const width = 8
+	var prefixes [][]byte
+	// 250 prefixes share lead 0x01020304: spans three anchor regions.
+	for i := 0; i < 250; i++ {
+		b := make([]byte, width)
+		binary.BigEndian.PutUint32(b[:4], 0x01020304)
+		binary.BigEndian.PutUint32(b[4:], uint32(i))
+		prefixes = append(prefixes, b)
+	}
+	// A few other leads around it.
+	for _, lead := range []uint32{0x01020303, 0x01020305, 0xffffffff, 0} {
+		b := make([]byte, width)
+		binary.BigEndian.PutUint32(b[:4], lead)
+		binary.BigEndian.PutUint32(b[4:], 7)
+		prefixes = append(prefixes, b)
+	}
+	w, err := BuildWide(width, prefixes)
+	if err != nil {
+		t.Fatalf("BuildWide: %v", err)
+	}
+	if w.Len() != len(prefixes) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(prefixes))
+	}
+	for i, p := range prefixes {
+		if !w.Contains(p) {
+			t.Fatalf("missing member %d (%x)", i, p)
+		}
+	}
+	// Same leads, absent tails.
+	for _, tail := range []uint32{250, 251, 99999} {
+		b := make([]byte, width)
+		binary.BigEndian.PutUint32(b[:4], 0x01020304)
+		binary.BigEndian.PutUint32(b[4:], tail)
+		if w.Contains(b) {
+			t.Errorf("spurious member with tail %d", tail)
+		}
+	}
+}
+
+func TestWideDeduplicates(t *testing.T) {
+	t.Parallel()
+	p := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	w, err := BuildWide(8, [][]byte{p, p, p})
+	if err != nil {
+		t.Fatalf("BuildWide: %v", err)
+	}
+	if w.Len() != 1 {
+		t.Errorf("Len = %d, want 1 after dedup", w.Len())
+	}
+	if !w.Contains(p) {
+		t.Error("missing deduplicated member")
+	}
+}
+
+func TestWideWrongWidthProbe(t *testing.T) {
+	t.Parallel()
+	w, _ := wideRandom(t, 8, 10, 42)
+	if w.Contains([]byte{1, 2, 3}) {
+		t.Error("Contains with wrong-width probe should be false")
+	}
+	if w.Contains(nil) {
+		t.Error("Contains(nil) should be false")
+	}
+}
+
+// TestWideSizeScaling reproduces the Table 2 trend: delta-coded size is
+// roughly (2 + width - 4) bytes per prefix, always below raw width. The
+// count matters: at the real database's density (~630k prefixes over the
+// 32-bit lead space) almost all lead deltas fit 16 bits; a much sparser
+// set would degenerate to one anchor per element.
+func TestWideSizeScaling(t *testing.T) {
+	t.Parallel()
+	const n = 300000
+	// Use realistic digest-derived prefixes.
+	for _, width := range []int{8, 10, 16, 32} {
+		prefixes := make([][]byte, n)
+		for i := range prefixes {
+			var seed [8]byte
+			binary.BigEndian.PutUint64(seed[:], uint64(i))
+			sum := sha256.Sum256(seed[:])
+			prefixes[i] = sum[:width]
+		}
+		w, err := BuildWide(width, prefixes)
+		if err != nil {
+			t.Fatalf("BuildWide(%d): %v", width, err)
+		}
+		raw := n * width
+		if w.SizeBytes() >= raw {
+			t.Errorf("width %d: delta-coded %d >= raw %d", width, w.SizeBytes(), raw)
+		}
+		perPrefix := float64(w.SizeBytes()) / n
+		expect := float64(2 + width - 4)
+		if perPrefix < expect-0.5 || perPrefix > expect+1.0 {
+			t.Errorf("width %d: %.2f bytes/prefix, want ~%.1f", width, perPrefix, expect)
+		}
+	}
+}
+
+func TestWideEmpty(t *testing.T) {
+	t.Parallel()
+	w, err := BuildWide(8, nil)
+	if err != nil {
+		t.Fatalf("BuildWide: %v", err)
+	}
+	if w.Len() != 0 {
+		t.Errorf("Len = %d, want 0", w.Len())
+	}
+	if w.Contains(make([]byte, 8)) {
+		t.Error("empty Wide claims membership")
+	}
+}

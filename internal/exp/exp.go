@@ -1,0 +1,114 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation: each experiment is a named runner that produces the same
+// rows or series the paper reports, formatted as fixed-width text.
+//
+// Experiment ids: table1, table2, table3, table4, table5, table6,
+// table7, table8, table9, table10, table11, table12, figure3, figure5,
+// figure6, powerlaw, algorithm1, mitigation.
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"text/tabwriter"
+)
+
+// Config scales the experiments. The zero value uses defaults suitable
+// for seconds-scale runs; raise Hosts and lower Scale to approach the
+// paper's magnitudes.
+type Config struct {
+	// Hosts is the per-profile corpus size for Figures 5/6 and Table 8
+	// (paper: 1,000,000; default here: 3000).
+	Hosts int
+	// Scale divides the blacklist and dataset sizes for Tables 9-12
+	// (default 100).
+	Scale int
+	// Seed drives all synthetic generation.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hosts <= 0 {
+		c.Hosts = 3000
+	}
+	if c.Scale <= 0 {
+		c.Scale = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 2015 // the paper's year, for determinism with flavour
+	}
+	return c
+}
+
+// Result is one regenerated experiment.
+type Result struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// Runner produces one experiment result.
+type Runner func(Config) (*Result, error)
+
+// registry maps experiment id to runner; populated by the runner files.
+var registry = map[string]Runner{}
+
+// IDs returns the known experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(cfg.withDefaults())
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(cfg Config) ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		r, err := Run(id, cfg)
+		if err != nil {
+			return out, fmt.Errorf("exp: %s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// table builds an aligned text table.
+type table struct {
+	buf bytes.Buffer
+	w   *tabwriter.Writer
+}
+
+func newTable() *table {
+	t := &table{}
+	t.w = tabwriter.NewWriter(&t.buf, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		fmt.Fprint(t.w, c)
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) String() string {
+	t.w.Flush() //nolint:errcheck // writes to an in-memory buffer
+	return t.buf.String()
+}

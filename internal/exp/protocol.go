@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sbprivacy/internal/blacklist"
+	"sbprivacy/internal/bloom"
+	"sbprivacy/internal/deltacoded"
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbclient"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/urlx"
+)
+
+func init() {
+	registry["table1"] = runTable1
+	registry["table2"] = runTable2
+	registry["table3"] = runTable3
+	registry["table4"] = runTable4
+	registry["figure3"] = runFigure3
+}
+
+func runInventory(id, title string, provider blacklist.Provider, cfg Config) (*Result, error) {
+	u, err := blacklist.BuildUniverse(blacklist.UniverseConfig{
+		Provider: provider, Scale: cfg.Scale, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := newTable()
+	t.row("list name", "description", "#prefixes (paper)", fmt.Sprintf("#prefixes (synthetic, /%d)", cfg.Scale))
+	for _, li := range u.Inventory {
+		paper := fmt.Sprint(li.Prefixes)
+		if li.Prefixes < 0 {
+			paper = "*"
+		}
+		n, err := u.Server.ListLen(li.Name)
+		if err != nil {
+			return nil, err
+		}
+		t.row(li.Name, li.Description, paper, n)
+	}
+	return &Result{ID: id, Title: title, Text: t.String()}, nil
+}
+
+func runTable1(cfg Config) (*Result, error) {
+	return runInventory("table1", "Table 1: lists provided by the Google Safe Browsing API", blacklist.Google, cfg)
+}
+
+func runTable3(cfg Config) (*Result, error) {
+	return runInventory("table3", "Table 3: Yandex blacklists", blacklist.Yandex, cfg)
+}
+
+// table2Prefixes is the paper's client database size: the Table 1
+// malware + phishing lists (317,807 + 312,621).
+const table2Prefixes = 630428
+
+func runTable2(cfg Config) (*Result, error) {
+	// Digest-derived prefixes at every width, like a real client DB.
+	widths := []int{4, 8, 10, 16, 32} // bytes: 32..256 bits
+	n := table2Prefixes
+
+	prefixes32 := make([]hashx.Prefix, n)
+	wide := make(map[int][][]byte, len(widths))
+	for _, w := range widths[1:] {
+		wide[w] = make([][]byte, n)
+	}
+	var seed [8]byte
+	for i := 0; i < n; i++ {
+		seed[0], seed[1], seed[2], seed[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		d := hashx.Sum(string(seed[:]))
+		prefixes32[i] = d.Prefix()
+		for _, w := range widths[1:] {
+			wide[w][i] = append([]byte(nil), d[:w]...)
+		}
+	}
+
+	// The Bloom filter Google deployed was ~3 MB regardless of width.
+	const bloomBytes = 3 << 20
+	bf, err := bloom.New(bloomBytes*8, 27)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range prefixes32 {
+		bf.InsertPrefix(p)
+	}
+
+	mb := func(b int) string { return fmt.Sprintf("%.1f", float64(b)/1e6) }
+	t := newTable()
+	t.row("prefix (bits)", "raw data (MB)", "delta-coded (MB)", "Bloom (MB)")
+	for _, w := range widths {
+		var deltaSize int
+		switch w {
+		case 4:
+			tbl := deltacoded.BuildFromUnsorted(prefixes32)
+			deltaSize = tbl.SizeBytes()
+		default:
+			wt, err := deltacoded.BuildWide(w, wide[w])
+			if err != nil {
+				return nil, err
+			}
+			deltaSize = wt.SizeBytes()
+		}
+		t.row(w*8, mb(n*w), mb(deltaSize), mb(bf.SizeBytes()))
+	}
+	t.row("", "", "", "")
+	t.row("paper (32-bit row)", "2.5", "1.3", "3.0")
+	t.row("bloom estimated FPR", fmt.Sprintf("%.2g", bf.EstimatedFalsePositiveRate()), "", "")
+	return &Result{
+		ID:    "table2",
+		Title: "Table 2: client cache size by prefix length and data structure",
+		Text:  t.String(),
+	}, nil
+}
+
+func runTable4(cfg Config) (*Result, error) {
+	decomps, err := urlx.Decompose("https://petsymposium.org/2016/cfp.php")
+	if err != nil {
+		return nil, err
+	}
+	t := newTable()
+	t.row("URL", "32-bit prefix")
+	for _, d := range decomps {
+		t.row(d, hashx.SumPrefix(d))
+	}
+	t.row("", "")
+	t.row("paper:", "0xe70ee6d1, 0x1d13ba6a, 0x33a02ef5")
+	return &Result{
+		ID:    "table4",
+		Title: "Table 4: decompositions of the PETS CFP URL and their prefixes",
+		Text:  t.String(),
+	}, nil
+}
+
+// runFigure3 walks the client behaviour flow chart end to end: miss,
+// confirmed hit, and false-positive hit, reporting what each path leaks.
+func runFigure3(cfg Config) (*Result, error) {
+	srv := sbserver.New()
+	if err := srv.CreateList("goog-malware-shavar", "malware"); err != nil {
+		return nil, err
+	}
+	if err := srv.AddExpressions("goog-malware-shavar", []string{"evil.example/attack.html"}); err != nil {
+		return nil, err
+	}
+	// A false positive: same 32-bit prefix as a clean page's digest,
+	// different full digest.
+	fp := hashx.Sum("lookalike.example/")
+	fp[31] ^= 1
+	if err := srv.AddDigests("goog-malware-shavar", []hashx.Digest{fp}); err != nil {
+		return nil, err
+	}
+
+	client := sbclient.New(sbclient.LocalTransport{Server: srv},
+		[]string{"goog-malware-shavar"}, sbclient.WithCookie("figure3-client"))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := client.Update(ctx, true); err != nil {
+		return nil, err
+	}
+
+	t := newTable()
+	t.row("URL", "local hits", "prefixes sent", "verdict")
+	for _, u := range []string{
+		"http://clean.example/page",       // miss
+		"http://evil.example/attack.html", // confirmed
+		"http://lookalike.example/",       // false positive
+	} {
+		v, err := client.CheckURL(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		verdict := "non-malicious"
+		if !v.Safe {
+			verdict = "MALICIOUS"
+		}
+		t.row(u, len(v.LocalHits), len(v.SentPrefixes), verdict)
+	}
+	stats := client.Stats()
+	t.row("", "", "", "")
+	t.row(fmt.Sprintf("client stats: %+v", stats), "", "", "")
+	return &Result{
+		ID:    "figure3",
+		Title: "Figure 3: client behaviour flow (miss / hit / false positive)",
+		Text:  t.String(),
+	}, nil
+}
+
+// percent formats a ratio.
+func percent(num, den int) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}

@@ -1,0 +1,260 @@
+// Package mitigation implements the countermeasures discussed in the
+// paper's Section 8:
+//
+//   - deterministic dummy requests, as Firefox performs against GSB: each
+//     real prefix is padded with dummies derived deterministically from
+//     it, so repeated queries for the same URL leak no extra signal
+//     (differential analysis resistance). Dummies raise the k-anonymity
+//     of a single-prefix query by the padding factor, but fail against
+//     multi-prefix re-identification: the probability that two given
+//     prefixes appear together as dummies is negligible.
+//
+//   - the one-prefix-at-a-time strategy the paper proposes: query first
+//     the prefix of the root decomposition; only when the root answer is
+//     inconclusive and the pre-fetched page shows Type I URLs are the
+//     remaining prefixes sent, limiting the provider to domain-level
+//     knowledge. When no Type I URLs exist, sending the remaining
+//     prefixes would identify the exact URL, so the client asks for user
+//     consent instead.
+package mitigation
+
+import (
+	"context"
+	"encoding/binary"
+	"sort"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/prefixdb"
+	"sbprivacy/internal/sbclient"
+	"sbprivacy/internal/urlx"
+	"sbprivacy/internal/wire"
+)
+
+// DummyPrefixes derives k dummy prefixes deterministically from a real
+// prefix: dummy_i = 32-bit prefix of SHA-256(prefix bytes || i). The
+// same real query therefore always produces the same padding, which
+// defeats intersection attacks across repeats of the same query
+// (Section 8's differential-analysis requirement, after [Ved15]).
+func DummyPrefixes(real hashx.Prefix, k int) []hashx.Prefix {
+	out := make([]hashx.Prefix, 0, k)
+	var buf [hashx.PrefixSize + 4]byte
+	rb := real.Bytes()
+	copy(buf[:hashx.PrefixSize], rb[:])
+	for i := 0; i < k; i++ {
+		binary.BigEndian.PutUint32(buf[hashx.PrefixSize:], uint32(i))
+		out = append(out, hashx.Sum(string(buf[:])).Prefix())
+	}
+	return out
+}
+
+// AugmentRequest pads every real prefix with k dummies and returns the
+// combined set, sorted and deduplicated so the wire order leaks nothing
+// about which entries are real.
+func AugmentRequest(real []hashx.Prefix, k int) []hashx.Prefix {
+	seen := make(map[hashx.Prefix]struct{}, len(real)*(k+1))
+	out := make([]hashx.Prefix, 0, len(real)*(k+1))
+	add := func(p hashx.Prefix) {
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	for _, p := range real {
+		add(p)
+		for _, d := range DummyPrefixes(p, k) {
+			add(d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SingleKAnonymityGain quantifies the dummy defence for a single-prefix
+// query: the observer's candidate set grows from the expressions behind
+// the real prefix to the union over real and dummy prefixes.
+// kOf reports the anonymity-set size of one prefix (e.g. core.Index's
+// KAnonymity); unknown prefixes contribute the floor of 1, since even an
+// unindexed prefix names at least one plausible pre-image to the
+// observer.
+func SingleKAnonymityGain(real hashx.Prefix, dummies int, kOf func(hashx.Prefix) int) (before, after int) {
+	floor := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	before = floor(kOf(real))
+	after = before
+	for _, d := range DummyPrefixes(real, dummies) {
+		after += floor(kOf(d))
+	}
+	return before, after
+}
+
+// Outcome is the verdict of a privacy-aware lookup.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeSafe: no decomposition matched; nothing or only the root
+	// prefix leaked.
+	OutcomeSafe Outcome = iota + 1
+	// OutcomeMalicious: a queried decomposition was confirmed
+	// blacklisted.
+	OutcomeMalicious
+	// OutcomeNeedsConsent: the root answer was inconclusive and no
+	// Type I URLs exist, so sending the remaining prefixes would let the
+	// provider re-identify the exact URL; the user must decide.
+	OutcomeNeedsConsent
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSafe:
+		return "safe"
+	case OutcomeMalicious:
+		return "malicious"
+	case OutcomeNeedsConsent:
+		return "needs-consent"
+	default:
+		return "unknown"
+	}
+}
+
+// Result reports a privacy-aware lookup: verdict plus everything leaked.
+type Result struct {
+	Outcome Outcome
+	// Requests is the number of full-hash round trips performed.
+	Requests int
+	// LeakedPrefixes is the union of prefixes revealed to the provider.
+	LeakedPrefixes []hashx.Prefix
+	// MatchedExpression is the confirmed malicious decomposition, if any.
+	MatchedExpression string
+}
+
+// Checker performs lookups with the Section 8 mitigations enabled. It
+// keeps the standard local database behaviour but replaces the all-hits-
+// at-once full-hash query with the staged strategy.
+type Checker struct {
+	// Transport reaches the provider.
+	Transport sbclient.Transport
+	// Store is the local prefix database.
+	Store prefixdb.Store
+	// Cookie identifies the client to the provider.
+	Cookie string
+	// Dummies pads every request with this many dummies per real prefix.
+	Dummies int
+	// HasTypeI simulates pre-fetching and crawling the target to detect
+	// Type I URLs (the paper's proposed browser behaviour). When nil,
+	// no Type I URLs are assumed.
+	HasTypeI func(url string) bool
+	// ConsentToExactLeak authorizes sending the remaining prefixes even
+	// when that identifies the exact URL (the user clicked through the
+	// warning).
+	ConsentToExactLeak bool
+}
+
+// CheckURL looks up a URL one prefix at a time.
+func (c *Checker) CheckURL(ctx context.Context, rawURL string) (*Result, error) {
+	canon, err := urlx.Canonicalize(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	decomps := canon.Decompositions()
+
+	type hit struct {
+		expr   string
+		prefix hashx.Prefix
+	}
+	var hits []hit
+	for _, d := range decomps {
+		p := hashx.SumPrefix(d)
+		if c.Store.Contains(p) {
+			hits = append(hits, hit{expr: d, prefix: p})
+		}
+	}
+	res := &Result{Outcome: OutcomeSafe}
+	if len(hits) == 0 {
+		return res, nil
+	}
+
+	// The root decomposition is the shortest expression: the registrable
+	// domain root when present among the hits, otherwise the last hit
+	// (decomposition order puts broader expressions later).
+	rootIdx := len(hits) - 1
+	for i, h := range hits {
+		if urlx.IsDomainDecomposition(h.expr) {
+			rootIdx = i // keep scanning: the broadest root is the last
+		}
+	}
+
+	query := func(batch []hit) (map[string]bool, error) {
+		prefixes := make([]hashx.Prefix, len(batch))
+		for i, h := range batch {
+			prefixes[i] = h.prefix
+		}
+		sent := AugmentRequest(prefixes, c.Dummies)
+		res.LeakedPrefixes = append(res.LeakedPrefixes, sent...)
+		res.Requests++
+		resp, err := c.Transport.FullHashes(ctx, &wire.FullHashRequest{
+			ClientID: c.Cookie,
+			Prefixes: sent,
+		})
+		if err != nil {
+			return nil, err
+		}
+		confirmed := make(map[string]bool)
+		for _, h := range batch {
+			full := hashx.Sum(h.expr)
+			for _, e := range resp.Entries {
+				if e.Digest == full {
+					confirmed[h.expr] = true
+				}
+			}
+		}
+		return confirmed, nil
+	}
+
+	// Stage 1: the root prefix only.
+	confirmed, err := query([]hit{hits[rootIdx]})
+	if err != nil {
+		return nil, err
+	}
+	if confirmed[hits[rootIdx].expr] {
+		res.Outcome = OutcomeMalicious
+		res.MatchedExpression = hits[rootIdx].expr
+		return res, nil
+	}
+	rest := make([]hit, 0, len(hits)-1)
+	for i, h := range hits {
+		if i != rootIdx {
+			rest = append(rest, h)
+		}
+	}
+	if len(rest) == 0 {
+		return res, nil
+	}
+
+	// Stage 2: remaining prefixes, only when Type I ambiguity protects
+	// the client (the provider then learns the domain, not the URL) or
+	// the user consented.
+	hasTypeI := c.HasTypeI != nil && c.HasTypeI(canon.String())
+	if !hasTypeI && !c.ConsentToExactLeak {
+		res.Outcome = OutcomeNeedsConsent
+		return res, nil
+	}
+	confirmed, err = query(rest)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range rest {
+		if confirmed[h.expr] {
+			res.Outcome = OutcomeMalicious
+			res.MatchedExpression = h.expr
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,285 @@
+package mitigation
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sbprivacy/internal/core"
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/prefixdb"
+	"sbprivacy/internal/sbclient"
+	"sbprivacy/internal/sbserver"
+)
+
+func TestDummyPrefixesDeterministic(t *testing.T) {
+	t.Parallel()
+	a := DummyPrefixes(0xe70ee6d1, 5)
+	b := DummyPrefixes(0xe70ee6d1, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("dummies not deterministic")
+	}
+	if len(a) != 5 {
+		t.Fatalf("len = %d", len(a))
+	}
+	c := DummyPrefixes(0x33a02ef5, 5)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different real prefixes share dummies")
+	}
+	if len(DummyPrefixes(1, 0)) != 0 {
+		t.Error("k=0 should produce no dummies")
+	}
+}
+
+func TestAugmentRequest(t *testing.T) {
+	t.Parallel()
+	real := []hashx.Prefix{0xe70ee6d1, 0x33a02ef5}
+	out := AugmentRequest(real, 3)
+	// 2 real + up to 6 dummies, deduplicated and sorted.
+	if len(out) < 4 || len(out) > 8 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1] >= out[i] {
+			t.Fatal("output not strictly sorted")
+		}
+	}
+	has := func(p hashx.Prefix) bool {
+		for _, q := range out {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range real {
+		if !has(p) {
+			t.Errorf("real prefix %v missing", p)
+		}
+	}
+	// Idempotent for the same input: no randomness.
+	if !reflect.DeepEqual(out, AugmentRequest(real, 3)) {
+		t.Error("AugmentRequest not deterministic")
+	}
+}
+
+// TestSingleKAnonymityGain: with an index-backed anonymity oracle, k
+// dummies multiply the candidate set roughly (k+1)-fold.
+func TestSingleKAnonymityGain(t *testing.T) {
+	t.Parallel()
+	idx := core.NewIndex([]string{
+		"a.example/", "b.example/", "c.example/page",
+	})
+	real := hashx.SumPrefix("a.example/")
+	before, after := SingleKAnonymityGain(real, 4, idx.KAnonymity)
+	if before != 1 {
+		t.Errorf("before = %d", before)
+	}
+	if after != before+4 { // dummies unknown to the index floor at 1 each
+		t.Errorf("after = %d, want %d", after, before+4)
+	}
+}
+
+type mitigationFixture struct {
+	server  *sbserver.Server
+	store   *prefixdb.SortedSet
+	checker *Checker
+}
+
+func newMitigationFixture(t *testing.T, blacklisted ...string) *mitigationFixture {
+	t.Helper()
+	srv := sbserver.New()
+	if err := srv.CreateList("goog-malware-shavar", "malware"); err != nil {
+		t.Fatalf("CreateList: %v", err)
+	}
+	if err := srv.AddExpressions("goog-malware-shavar", blacklisted); err != nil {
+		t.Fatalf("AddExpressions: %v", err)
+	}
+	prefixes, err := srv.PrefixesOf("goog-malware-shavar")
+	if err != nil {
+		t.Fatalf("PrefixesOf: %v", err)
+	}
+	store := prefixdb.NewSortedSet(prefixes)
+	return &mitigationFixture{
+		server: srv,
+		store:  store,
+		checker: &Checker{
+			Transport: sbclient.LocalTransport{Server: srv},
+			Store:     store,
+			Cookie:    "mitigated-client",
+		},
+	}
+}
+
+// TestOnePrefixMaliciousRoot: a blacklisted domain root is confirmed with
+// a single leaked prefix — strictly less than the vanilla client leaks.
+func TestOnePrefixMaliciousRoot(t *testing.T) {
+	t.Parallel()
+	f := newMitigationFixture(t, "evil.example/", "evil.example/attack.html")
+	res, err := f.checker.CheckURL(context.Background(), "http://evil.example/attack.html")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if res.Outcome != OutcomeMalicious {
+		t.Errorf("outcome = %v", res.Outcome)
+	}
+	if res.MatchedExpression != "evil.example/" {
+		t.Errorf("matched = %q", res.MatchedExpression)
+	}
+	if res.Requests != 1 || len(res.LeakedPrefixes) != 1 {
+		t.Errorf("requests = %d, leaked = %v", res.Requests, res.LeakedPrefixes)
+	}
+}
+
+// TestOnePrefixSafeMiss: no local hits leak nothing.
+func TestOnePrefixSafeMiss(t *testing.T) {
+	t.Parallel()
+	f := newMitigationFixture(t, "evil.example/")
+	res, err := f.checker.CheckURL(context.Background(), "http://clean.example/")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if res.Outcome != OutcomeSafe || res.Requests != 0 || len(res.LeakedPrefixes) != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+// TestOnePrefixNeedsConsent: multiple hits, the root is clean, no Type I
+// URLs — sending the rest would identify the exact URL, so the checker
+// stops and asks.
+func TestOnePrefixNeedsConsent(t *testing.T) {
+	t.Parallel()
+	// Blacklist a deep page AND its domain root's prefix via a different
+	// digest (orphan), so the root query is inconclusive.
+	f := newMitigationFixture(t, "evil.example/attack.html")
+	if err := f.server.AddOrphanPrefixes("goog-malware-shavar",
+		[]hashx.Prefix{hashx.SumPrefix("evil.example/")}); err != nil {
+		t.Fatalf("AddOrphanPrefixes: %v", err)
+	}
+	f.store.Apply([]hashx.Prefix{hashx.SumPrefix("evil.example/")}, nil)
+
+	res, err := f.checker.CheckURL(context.Background(), "http://evil.example/attack.html")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if res.Outcome != OutcomeNeedsConsent {
+		t.Errorf("outcome = %v, want needs-consent", res.Outcome)
+	}
+	if res.Requests != 1 {
+		t.Errorf("requests = %d, want 1 (root only)", res.Requests)
+	}
+
+	// With consent the check completes and confirms the attack page.
+	f.checker.ConsentToExactLeak = true
+	res, err = f.checker.CheckURL(context.Background(), "http://evil.example/attack.html")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if res.Outcome != OutcomeMalicious || res.MatchedExpression != "evil.example/attack.html" {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Requests != 2 {
+		t.Errorf("requests = %d, want 2", res.Requests)
+	}
+}
+
+// TestOnePrefixTypeIProceeds: when the crawl finds Type I URLs, the
+// remaining prefixes go out without consent — the provider learns at
+// most the domain.
+func TestOnePrefixTypeIProceeds(t *testing.T) {
+	t.Parallel()
+	f := newMitigationFixture(t, "evil.example/attack.html")
+	if err := f.server.AddOrphanPrefixes("goog-malware-shavar",
+		[]hashx.Prefix{hashx.SumPrefix("evil.example/")}); err != nil {
+		t.Fatalf("AddOrphanPrefixes: %v", err)
+	}
+	f.store.Apply([]hashx.Prefix{hashx.SumPrefix("evil.example/")}, nil)
+	f.checker.HasTypeI = func(string) bool { return true }
+
+	res, err := f.checker.CheckURL(context.Background(), "http://evil.example/attack.html")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if res.Outcome != OutcomeMalicious {
+		t.Errorf("outcome = %v", res.Outcome)
+	}
+	if res.Requests != 2 {
+		t.Errorf("requests = %d", res.Requests)
+	}
+}
+
+// TestDummiesWidenLeakedSet: with dummies enabled, the leaked prefix set
+// strictly contains the real prefix plus padding.
+func TestDummiesWidenLeakedSet(t *testing.T) {
+	t.Parallel()
+	f := newMitigationFixture(t, "evil.example/")
+	f.checker.Dummies = 7
+	res, err := f.checker.CheckURL(context.Background(), "http://evil.example/")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if res.Outcome != OutcomeMalicious {
+		t.Errorf("outcome = %v", res.Outcome)
+	}
+	if len(res.LeakedPrefixes) != 8 {
+		t.Errorf("leaked = %d prefixes, want 8 (1 real + 7 dummies)", len(res.LeakedPrefixes))
+	}
+}
+
+// TestMultiPrefixDefeatsDummies demonstrates the paper's negative result:
+// even with dummies, the provider re-identifies a multi-prefix URL
+// because the real prefixes' joint presence is overwhelming evidence —
+// dummies are derived per-prefix and never reproduce a correlated pair.
+func TestMultiPrefixDefeatsDummies(t *testing.T) {
+	t.Parallel()
+	idx := core.NewIndex([]string{
+		"fr.xhamster.com/user/video",
+		"fr.xhamster.com/",
+		"xhamster.com/",
+		"other.example/",
+	})
+	real := []hashx.Prefix{
+		hashx.SumPrefix("fr.xhamster.com/"),
+		hashx.SumPrefix("xhamster.com/"),
+	}
+	sent := AugmentRequest(real, 5)
+	re := idx.Reidentify(real)
+	if re.CommonDomain != "xhamster.com" {
+		t.Fatalf("sanity: %+v", re)
+	}
+	// The provider intersects the padded request with its index: the only
+	// pair of related prefixes is the real one, so the padded query
+	// re-identifies exactly like the unpadded query.
+	var indexed []hashx.Prefix
+	for _, p := range sent {
+		if idx.KAnonymity(p) > 0 {
+			indexed = append(indexed, p)
+		}
+	}
+	rePadded := idx.Reidentify(indexed)
+	if rePadded.CommonDomain != re.CommonDomain {
+		t.Errorf("padding changed the inference: %+v vs %+v", rePadded, re)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	t.Parallel()
+	for o, want := range map[Outcome]string{
+		OutcomeSafe:         "safe",
+		OutcomeMalicious:    "malicious",
+		OutcomeNeedsConsent: "needs-consent",
+		Outcome(9):          "unknown",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}
+
+func TestCheckerInvalidURL(t *testing.T) {
+	t.Parallel()
+	f := newMitigationFixture(t, "evil.example/")
+	if _, err := f.checker.CheckURL(context.Background(), ""); err == nil {
+		t.Error("CheckURL(\"\"): want error")
+	}
+}

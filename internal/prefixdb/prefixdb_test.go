@@ -1,0 +1,163 @@
+package prefixdb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sbprivacy/internal/hashx"
+)
+
+func randomPrefixes(n int, seed int64) []hashx.Prefix {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]hashx.Prefix, n)
+	for i := range out {
+		out[i] = hashx.Prefix(rng.Uint32())
+	}
+	return out
+}
+
+// TestStoresAgree: all exact stores answer membership identically; the
+// Bloom store never reports a false negative.
+func TestStoresAgree(t *testing.T) {
+	t.Parallel()
+	prefixes := randomPrefixes(20000, 11)
+	sorted := NewSortedSet(prefixes)
+	delta := NewDeltaStore(prefixes)
+	bloomSt, err := NewBloomStore(prefixes, 0.001)
+	if err != nil {
+		t.Fatalf("NewBloomStore: %v", err)
+	}
+
+	if sorted.Len() != delta.Len() {
+		t.Fatalf("Len mismatch: sorted %d, delta %d", sorted.Len(), delta.Len())
+	}
+	for _, p := range prefixes {
+		if !sorted.Contains(p) || !delta.Contains(p) || !bloomSt.Contains(p) {
+			t.Fatalf("member %v missing from a store", p)
+		}
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 50000; i++ {
+		p := hashx.Prefix(rng.Uint32())
+		if sorted.Contains(p) != delta.Contains(p) {
+			t.Fatalf("exact stores disagree on %v", p)
+		}
+		if sorted.Contains(p) && !bloomSt.Contains(p) {
+			t.Fatalf("bloom false negative on %v", p)
+		}
+	}
+}
+
+func TestSortedSetApply(t *testing.T) {
+	t.Parallel()
+	s := NewSortedSet([]hashx.Prefix{1, 2, 3})
+	s.Apply([]hashx.Prefix{4, 5}, []hashx.Prefix{2})
+	for _, p := range []hashx.Prefix{1, 3, 4, 5} {
+		if !s.Contains(p) {
+			t.Errorf("missing %v after Apply", p)
+		}
+	}
+	if s.Contains(2) {
+		t.Error("removed prefix still present")
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+	// Duplicate adds collapse.
+	s.Apply([]hashx.Prefix{4, 4, 4}, nil)
+	if s.Len() != 4 {
+		t.Errorf("Len after dup add = %d, want 4", s.Len())
+	}
+}
+
+func TestDeltaStoreApply(t *testing.T) {
+	t.Parallel()
+	d := NewDeltaStore([]hashx.Prefix{10, 20})
+	d.Apply([]hashx.Prefix{30}, []hashx.Prefix{10})
+	if d.Contains(10) {
+		t.Error("removed prefix still present")
+	}
+	if !d.Contains(20) || !d.Contains(30) {
+		t.Error("expected members missing")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	t.Parallel()
+	s := NewSortedSet([]hashx.Prefix{5, 1, 3})
+	snap := s.Snapshot()
+	want := []hashx.Prefix{1, 3, 5}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", snap, want)
+		}
+	}
+	snap[0] = 99
+	if !s.Contains(1) || s.Contains(99) {
+		t.Error("mutating snapshot affected the store")
+	}
+}
+
+// TestSizeOrdering reproduces the Table 2 size relationships at 32-bit
+// prefixes: delta-coded < raw sorted array.
+func TestSizeOrdering(t *testing.T) {
+	t.Parallel()
+	prefixes := randomPrefixes(100000, 13)
+	sorted := NewSortedSet(prefixes)
+	delta := NewDeltaStore(prefixes)
+	if delta.SizeBytes() >= sorted.SizeBytes() {
+		t.Errorf("delta-coded (%d) not smaller than raw (%d)",
+			delta.SizeBytes(), sorted.SizeBytes())
+	}
+}
+
+// TestConcurrentAccess exercises the stores under concurrent reads and
+// writes with the race detector in mind.
+func TestConcurrentAccess(t *testing.T) {
+	t.Parallel()
+	prefixes := randomPrefixes(1000, 14)
+	stores := []Updatable{NewSortedSet(prefixes), NewDeltaStore(prefixes)}
+	for _, s := range stores {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(2)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 200; i++ {
+					s.Contains(hashx.Prefix(rng.Uint32()))
+				}
+			}(int64(w))
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + 50))
+				for i := 0; i < 20; i++ {
+					s.Apply([]hashx.Prefix{hashx.Prefix(rng.Uint32())}, nil)
+				}
+			}(int64(w))
+		}
+		wg.Wait()
+	}
+}
+
+func TestEmptyStores(t *testing.T) {
+	t.Parallel()
+	s := NewSortedSet(nil)
+	d := NewDeltaStore(nil)
+	b, err := NewBloomStore(nil, 0.01)
+	if err != nil {
+		t.Fatalf("NewBloomStore(empty): %v", err)
+	}
+	for _, st := range []Store{s, d, b} {
+		if st.Contains(1234) {
+			t.Errorf("%T: empty store claims membership", st)
+		}
+		if st.Len() != 0 {
+			t.Errorf("%T: Len = %d, want 0", st, st.Len())
+		}
+	}
+}

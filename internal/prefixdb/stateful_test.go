@@ -1,0 +1,71 @@
+package prefixdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"sbprivacy/internal/hashx"
+)
+
+// TestStatefulDifferential drives SortedSet and DeltaStore through long
+// random sequences of Apply operations and checks, after every step,
+// that both agree with a reference map — the strongest correctness
+// argument for the update path that real blacklist churn exercises.
+func TestStatefulDifferential(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(string(rune('a'+seed)), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			sorted := NewSortedSet(nil)
+			delta := NewDeltaStore(nil)
+			ref := make(map[hashx.Prefix]struct{})
+
+			const space = 2000 // small space forces add/remove collisions
+			randomBatch := func(n int) []hashx.Prefix {
+				out := make([]hashx.Prefix, n)
+				for i := range out {
+					out[i] = hashx.Prefix(rng.Intn(space))
+				}
+				return out
+			}
+
+			for step := 0; step < 60; step++ {
+				add := randomBatch(rng.Intn(30))
+				remove := randomBatch(rng.Intn(15))
+				sorted.Apply(add, remove)
+				delta.Apply(add, remove)
+
+				drop := make(map[hashx.Prefix]struct{}, len(remove))
+				for _, p := range remove {
+					drop[p] = struct{}{}
+				}
+				for _, p := range remove {
+					delete(ref, p)
+				}
+				for _, p := range add {
+					if _, gone := drop[p]; !gone {
+						ref[p] = struct{}{}
+					}
+				}
+
+				if sorted.Len() != len(ref) || delta.Len() != len(ref) {
+					t.Fatalf("step %d: lens %d/%d, ref %d",
+						step, sorted.Len(), delta.Len(), len(ref))
+				}
+				// Probe a sample of the space.
+				for i := 0; i < 200; i++ {
+					p := hashx.Prefix(rng.Intn(space))
+					_, want := ref[p]
+					if sorted.Contains(p) != want {
+						t.Fatalf("step %d: sorted.Contains(%v) != %v", step, p, want)
+					}
+					if delta.Contains(p) != want {
+						t.Fatalf("step %d: delta.Contains(%v) != %v", step, p, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package sbclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sbprivacy/internal/wire"
+)
+
+// flakyTransport fails the first n calls of each kind, then delegates.
+type flakyTransport struct {
+	mu        sync.Mutex
+	inner     Transport
+	failDown  int
+	failHash  int
+	downCalls int
+	hashCalls int
+}
+
+var errInjected = errors.New("injected transport failure")
+
+func (f *flakyTransport) Download(ctx context.Context, req *wire.DownloadRequest) (*wire.DownloadResponse, error) {
+	f.mu.Lock()
+	f.downCalls++
+	fail := f.downCalls <= f.failDown
+	f.mu.Unlock()
+	if fail {
+		return nil, errInjected
+	}
+	return f.inner.Download(ctx, req)
+}
+
+func (f *flakyTransport) FullHashes(ctx context.Context, req *wire.FullHashRequest) (*wire.FullHashResponse, error) {
+	f.mu.Lock()
+	f.hashCalls++
+	fail := f.hashCalls <= f.failHash
+	f.mu.Unlock()
+	if fail {
+		return nil, errInjected
+	}
+	return f.inner.FullHashes(ctx, req)
+}
+
+// TestUpdateSurvivesTransientFailure: a failed update leaves the client
+// consistent; a retry succeeds and applies everything.
+func TestUpdateSurvivesTransientFailure(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	if err := f.server.AddExpressions(testList, []string{"evil.example/"}); err != nil {
+		t.Fatalf("AddExpressions: %v", err)
+	}
+	flaky := &flakyTransport{inner: LocalTransport{Server: f.server}, failDown: 2}
+	client := New(flaky, []string{testList}, WithClock(f.clock.now))
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := client.Update(ctx, true); !errors.Is(err, errInjected) {
+			t.Fatalf("attempt %d: err = %v, want injected", i, err)
+		}
+	}
+	if client.LocalPrefixCount(testList) != 0 {
+		t.Error("failed update mutated the store")
+	}
+	if err := client.Update(ctx, true); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if client.LocalPrefixCount(testList) != 1 {
+		t.Errorf("prefix count = %d after successful retry", client.LocalPrefixCount(testList))
+	}
+}
+
+// TestLookupSurvivesFullHashFailure: a failed full-hash round trip
+// surfaces the error without poisoning the cache; the next lookup
+// succeeds and reaches the right verdict.
+func TestLookupSurvivesFullHashFailure(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.blacklist(t, "evil.example/")
+	flaky := &flakyTransport{inner: LocalTransport{Server: f.server}, failHash: 1}
+	client := New(flaky, []string{testList}, WithClock(f.clock.now), WithCookie("fi"))
+	ctx := context.Background()
+	if err := client.Update(ctx, true); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+
+	if _, err := client.CheckURL(ctx, "http://evil.example/"); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	v, err := client.CheckURL(ctx, "http://evil.example/")
+	if err != nil {
+		t.Fatalf("retry CheckURL: %v", err)
+	}
+	if v.Safe || v.FromCache {
+		t.Errorf("retry verdict = %+v", v)
+	}
+}
+
+// TestHTTPMalformedResponses: a server returning garbage or errors must
+// produce clean client errors, never panics or bogus verdicts.
+func TestHTTPMalformedResponses(t *testing.T) {
+	t.Parallel()
+	cases := map[string]http.HandlerFunc{
+		"garbage": func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "this is not the binary protocol")
+		},
+		"empty": func(w http.ResponseWriter, r *http.Request) {},
+		"500": func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		},
+		"truncated": func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte{0x53, 1}) //nolint:errcheck // test
+		},
+	}
+	for name, handler := range cases {
+		name, handler := name, handler
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ts := httptest.NewServer(handler)
+			defer ts.Close()
+			client := New(HTTPTransport{BaseURL: ts.URL, Client: ts.Client()}, []string{testList})
+			if err := client.Update(context.Background(), true); err == nil {
+				t.Error("malformed download: want error")
+			}
+		})
+	}
+}
+
+// TestUpdateFailureBackoff: failed updates start the protocol's
+// exponential backoff — one minute after the first failure, doubling per
+// consecutive failure — and a success resets the counter.
+func TestUpdateFailureBackoff(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	flaky := &flakyTransport{inner: LocalTransport{Server: f.server}, failDown: 2}
+	client := New(flaky, []string{testList}, WithClock(f.clock.now))
+	ctx := context.Background()
+
+	// First failure: one-minute backoff.
+	if err := client.Update(ctx, false); !errors.Is(err, errInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	if err := client.Update(ctx, false); !errors.Is(err, ErrUpdateTooSoon) {
+		t.Fatalf("immediate retry: err = %v, want ErrUpdateTooSoon", err)
+	}
+	f.clock.advance(61 * time.Second)
+
+	// Second failure: backoff doubles to two minutes.
+	if err := client.Update(ctx, false); !errors.Is(err, errInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	f.clock.advance(61 * time.Second)
+	if err := client.Update(ctx, false); !errors.Is(err, ErrUpdateTooSoon) {
+		t.Fatalf("after 1 min of doubled backoff: err = %v, want ErrUpdateTooSoon", err)
+	}
+	f.clock.advance(60 * time.Second)
+
+	// Transport healthy now: success resets the failure counter, and the
+	// server-granted pacing takes over.
+	if err := client.Update(ctx, false); err != nil {
+		t.Fatalf("recovery update: %v", err)
+	}
+	if err := client.Update(ctx, false); !errors.Is(err, ErrUpdateTooSoon) {
+		t.Fatalf("post-success pacing: err = %v, want ErrUpdateTooSoon", err)
+	}
+
+	// force overrides backoff entirely.
+	flaky2 := &flakyTransport{inner: LocalTransport{Server: f.server}, failDown: 1}
+	client2 := New(flaky2, []string{testList}, WithClock(f.clock.now))
+	if err := client2.Update(ctx, false); !errors.Is(err, errInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	if err := client2.Update(ctx, true); err != nil {
+		t.Fatalf("forced update during backoff: %v", err)
+	}
+}
+
+// TestBackoffCap: the backoff never exceeds the eight-hour cap even
+// after many consecutive failures.
+func TestBackoffCap(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	flaky := &flakyTransport{inner: LocalTransport{Server: f.server}, failDown: 1 << 30}
+	client := New(flaky, []string{testList}, WithClock(f.clock.now))
+	ctx := context.Background()
+	for i := 0; i < 40; i++ { // enough doublings to overflow without the cap
+		if err := client.Update(ctx, true); !errors.Is(err, errInjected) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	// After the cap, advancing a little over eight hours re-opens pacing
+	// (the next attempt still fails, but it is attempted).
+	f.clock.advance(8*time.Hour + time.Minute)
+	if err := client.Update(ctx, false); !errors.Is(err, errInjected) {
+		t.Fatalf("post-cap attempt: err = %v, want transport error", err)
+	}
+}

@@ -1,0 +1,171 @@
+package sbclient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sbprivacy/internal/prefixdb"
+)
+
+// TestSaveLoadRoundTrip: a restarted client restores its database and
+// chunk positions, so the next update is incremental, not a full
+// re-download.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.blacklist(t, "evil.example/", "bad.example/page.html")
+
+	var buf bytes.Buffer
+	if err := f.client.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+
+	// A fresh client ("after restart") with the same list set.
+	restarted := New(LocalTransport{Server: f.server}, []string{testList},
+		WithClock(f.clock.now), WithCookie("restarted"))
+	if restarted.LocalPrefixCount(testList) != 0 {
+		t.Fatal("fresh client not empty")
+	}
+	if err := restarted.LoadState(&buf); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if restarted.LocalPrefixCount(testList) != 2 {
+		t.Fatalf("restored prefix count = %d", restarted.LocalPrefixCount(testList))
+	}
+
+	// Lookups work straight from the restored database.
+	v, err := restarted.CheckURL(context.Background(), "http://evil.example/")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if v.Safe {
+		t.Error("restored client lost the blacklist")
+	}
+
+	// The server adds one more entry; the restored client's incremental
+	// update fetches only the new chunk.
+	if err := f.server.AddExpressions(testList, []string{"worse.example/"}); err != nil {
+		t.Fatalf("AddExpressions: %v", err)
+	}
+	if err := restarted.Update(context.Background(), true); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if restarted.LocalPrefixCount(testList) != 3 {
+		t.Errorf("post-update count = %d", restarted.LocalPrefixCount(testList))
+	}
+}
+
+// TestSaveLoadWithDeltaStore: persistence works across store kinds.
+func TestSaveLoadWithDeltaStore(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, WithStoreFactory(func() prefixdb.Updatable {
+		return prefixdb.NewDeltaStore(nil)
+	}))
+	f.blacklist(t, "evil.example/")
+	var buf bytes.Buffer
+	if err := f.client.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	restarted := New(LocalTransport{Server: f.server}, []string{testList},
+		WithClock(f.clock.now),
+		WithStoreFactory(func() prefixdb.Updatable { return prefixdb.NewDeltaStore(nil) }))
+	if err := restarted.LoadState(&buf); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if restarted.LocalPrefixCount(testList) != 1 {
+		t.Errorf("restored count = %d", restarted.LocalPrefixCount(testList))
+	}
+}
+
+// TestLoadStateSkipsUnknownLists: state for lists the client no longer
+// syncs is ignored without error.
+func TestLoadStateSkipsUnknownLists(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.blacklist(t, "evil.example/")
+	var buf bytes.Buffer
+	if err := f.client.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	other := New(LocalTransport{Server: f.server}, []string{"some-other-list"},
+		WithClock(f.clock.now))
+	if err := other.LoadState(&buf); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if other.LocalPrefixCount("some-other-list") != 0 {
+		t.Error("unknown-list data leaked into another list")
+	}
+}
+
+// TestLoadStateRejectsCorruption: truncated or corrupted state files
+// produce ErrBadStateFile, never partial silent loads of garbage.
+func TestLoadStateRejectsCorruption(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.blacklist(t, "evil.example/")
+	var buf bytes.Buffer
+	if err := f.client.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	raw := buf.Bytes()
+
+	fresh := func() *Client {
+		return New(LocalTransport{Server: f.server}, []string{testList},
+			WithClock(f.clock.now))
+	}
+	// Bad magic.
+	bad := append([]byte{}, raw...)
+	bad[0] ^= 0xff
+	if err := fresh().LoadState(bytes.NewReader(bad)); !errors.Is(err, ErrBadStateFile) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	// Bad version.
+	bad = append([]byte{}, raw...)
+	bad[4] = 99
+	if err := fresh().LoadState(bytes.NewReader(bad)); !errors.Is(err, ErrBadStateFile) {
+		t.Errorf("bad version: err = %v", err)
+	}
+	// Truncations at every byte boundary fail cleanly.
+	for cut := 0; cut < len(raw); cut++ {
+		if err := fresh().LoadState(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d loaded successfully", cut)
+		}
+	}
+	// Arbitrary garbage never panics.
+	check := func(garbage []byte) bool {
+		_ = fresh().LoadState(bytes.NewReader(garbage))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoadStateClearsCache: restored state must not resurrect stale
+// full-hash cache entries.
+func TestLoadStateClearsCache(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.blacklist(t, "evil.example/")
+	ctx := context.Background()
+	if _, err := f.client.CheckURL(ctx, "http://evil.example/"); err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.client.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	if err := f.client.LoadState(&buf); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	v, err := f.client.CheckURL(ctx, "http://evil.example/")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if v.FromCache {
+		t.Error("cache survived LoadState")
+	}
+}

@@ -1,0 +1,96 @@
+package sbclient
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/wire"
+)
+
+// LocalTransport wires a client to an in-process server: the transport
+// used by tests, experiments and benchmarks.
+type LocalTransport struct {
+	Server *sbserver.Server
+}
+
+var _ Transport = LocalTransport{}
+
+// Download implements Transport.
+func (t LocalTransport) Download(ctx context.Context, req *wire.DownloadRequest) (*wire.DownloadResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.Server.Download(req)
+}
+
+// FullHashes implements Transport.
+func (t LocalTransport) FullHashes(ctx context.Context, req *wire.FullHashRequest) (*wire.FullHashResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.Server.FullHashes(req)
+}
+
+// HTTPTransport talks to a remote server over HTTP using the binary wire
+// format.
+type HTTPTransport struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8045".
+	BaseURL string
+	// Client is the HTTP client; http.DefaultClient when nil.
+	Client *http.Client
+}
+
+var _ Transport = HTTPTransport{}
+
+func (t HTTPTransport) httpClient() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t HTTPTransport) post(ctx context.Context, path string, encode func(io.Writer) error) (io.ReadCloser, error) {
+	var body bytes.Buffer
+	if err := encode(&body); err != nil {
+		return nil, fmt.Errorf("sbclient: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+path, &body)
+	if err != nil {
+		return nil, fmt.Errorf("sbclient: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := t.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("sbclient: post %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("sbclient: %s returned %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return resp.Body, nil
+}
+
+// Download implements Transport.
+func (t HTTPTransport) Download(ctx context.Context, req *wire.DownloadRequest) (*wire.DownloadResponse, error) {
+	body, err := t.post(ctx, sbserver.PathDownloads, req.Encode)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close() //nolint:errcheck // read-side close
+	return wire.DecodeDownloadResponse(body)
+}
+
+// FullHashes implements Transport.
+func (t HTTPTransport) FullHashes(ctx context.Context, req *wire.FullHashRequest) (*wire.FullHashResponse, error) {
+	body, err := t.post(ctx, sbserver.PathFullHash, req.Encode)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close() //nolint:errcheck // read-side close
+	return wire.DecodeFullHashResponse(body)
+}

@@ -1,0 +1,62 @@
+package sbserver
+
+import (
+	"log"
+	"net/http"
+
+	"sbprivacy/internal/wire"
+)
+
+// HTTP endpoints. The Safe Browsing service lives at the application
+// layer of the standard Internet stack (paper Section 2.2).
+const (
+	PathDownloads = "/safebrowsing/downloads"
+	PathFullHash  = "/safebrowsing/gethash"
+)
+
+// Handler exposes the server over HTTP. Requests and responses use the
+// binary wire format with content type application/octet-stream.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathDownloads, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		req, err := wire.DecodeDownloadRequest(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.Download(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := resp.Encode(w); err != nil {
+			log.Printf("sbserver: encode download response: %v", err)
+		}
+	})
+	mux.HandleFunc(PathFullHash, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		req, err := wire.DecodeFullHashRequest(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.FullHashes(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := resp.Encode(w); err != nil {
+			log.Printf("sbserver: encode fullhash response: %v", err)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,382 @@
+// Package sbserver implements the Safe Browsing provider: the blacklist
+// database, the incremental chunk-update service and the full-hash
+// service of Figure 2.
+//
+// Besides serving clients, the server records every full-hash request in
+// a probe log — the vantage point of the paper's threat model (Section 4).
+// An honest-but-curious or malicious provider sees exactly this log:
+// (cookie, prefixes, timestamp) triples. The re-identification and
+// tracking machinery of internal/core consumes it.
+package sbserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/urlx"
+	"sbprivacy/internal/wire"
+)
+
+// Defaults for protocol pacing.
+const (
+	DefaultMinWaitSeconds = 1800 // 30 min between downloads
+	DefaultCacheSeconds   = 300  // full-hash cache lifetime
+)
+
+// ErrUnknownList reports a request against a list the server doesn't serve.
+var ErrUnknownList = errors.New("sbserver: unknown list")
+
+// Probe is one full-hash request as seen by the provider.
+type Probe struct {
+	Time     time.Time
+	ClientID string
+	Prefixes []hashx.Prefix
+}
+
+// ProbeSink receives a copy of every probe. Implementations must be safe
+// for concurrent use.
+type ProbeSink interface {
+	Observe(p Probe)
+}
+
+// list is the server-side state of one blacklist.
+type list struct {
+	name        string
+	description string
+	chunks      []wire.Chunk
+	nextChunk   uint32
+	// byPrefix maps each live prefix to the full digests sharing it.
+	// Orphan prefixes (paper Section 7.2) map to an empty slice.
+	byPrefix map[hashx.Prefix][]hashx.Digest
+}
+
+// Server is an in-memory Safe Browsing provider. Safe for concurrent use.
+type Server struct {
+	mu             sync.RWMutex
+	lists          map[string]*list
+	listOrder      []string
+	probes         []Probe
+	sinks          []ProbeSink
+	minWaitSeconds uint32
+	cacheSeconds   uint32
+	now            func() time.Time
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMinWait sets the minimum client poll interval.
+func WithMinWait(seconds uint32) Option {
+	return func(s *Server) { s.minWaitSeconds = seconds }
+}
+
+// WithCacheLifetime sets the full-hash cache lifetime granted to clients.
+func WithCacheLifetime(seconds uint32) Option {
+	return func(s *Server) { s.cacheSeconds = seconds }
+}
+
+// WithClock overrides the time source (tests).
+func WithClock(now func() time.Time) Option {
+	return func(s *Server) { s.now = now }
+}
+
+// New creates an empty server.
+func New(opts ...Option) *Server {
+	s := &Server{
+		lists:          make(map[string]*list),
+		minWaitSeconds: DefaultMinWaitSeconds,
+		cacheSeconds:   DefaultCacheSeconds,
+		now:            time.Now,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// CreateList registers a new empty blacklist.
+func (s *Server) CreateList(name, description string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.lists[name]; dup {
+		return fmt.Errorf("sbserver: list %q already exists", name)
+	}
+	s.lists[name] = &list{
+		name:        name,
+		description: description,
+		nextChunk:   1,
+		byPrefix:    make(map[hashx.Prefix][]hashx.Digest),
+	}
+	s.listOrder = append(s.listOrder, name)
+	return nil
+}
+
+// ListNames returns the registered list names in creation order.
+func (s *Server) ListNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.listOrder))
+	copy(out, s.listOrder)
+	return out
+}
+
+// ListDescription returns the human description of a list.
+func (s *Server) ListDescription(name string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lists[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownList, name)
+	}
+	return l.description, nil
+}
+
+// ListLen returns the number of live prefixes in a list.
+func (s *Server) ListLen(name string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lists[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownList, name)
+	}
+	return len(l.byPrefix), nil
+}
+
+// AddExpressions blacklists canonicalized decomposition expressions
+// (e.g. "evil.example/" or "host.example/path"): their full digests and
+// prefixes enter the list as one add chunk. This is the ordinary way
+// content enters a blacklist.
+func (s *Server) AddExpressions(listName string, expressions []string) error {
+	digests := make([]hashx.Digest, len(expressions))
+	for i, e := range expressions {
+		digests[i] = hashx.Sum(e)
+	}
+	return s.AddDigests(listName, digests)
+}
+
+// AddURL canonicalizes a URL and blacklists its exact canonical form.
+func (s *Server) AddURL(listName, rawURL string) error {
+	c, err := urlx.Canonicalize(rawURL)
+	if err != nil {
+		return err
+	}
+	return s.AddExpressions(listName, []string{c.String()})
+}
+
+// AddDigests blacklists full digests directly (used when importing an
+// existing digest database).
+func (s *Server) AddDigests(listName string, digests []hashx.Digest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.lists[listName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	}
+	var newPrefixes []hashx.Prefix
+	for _, d := range digests {
+		p := d.Prefix()
+		known := false
+		for _, existing := range l.byPrefix[p] {
+			if existing == d {
+				known = true
+				break
+			}
+		}
+		if known {
+			continue
+		}
+		if _, live := l.byPrefix[p]; !live {
+			newPrefixes = append(newPrefixes, p)
+		}
+		l.byPrefix[p] = append(l.byPrefix[p], d)
+	}
+	if len(newPrefixes) > 0 {
+		l.appendChunk(wire.ChunkAdd, newPrefixes)
+	}
+	return nil
+}
+
+// AddOrphanPrefixes inserts prefixes with no corresponding full digest —
+// the "orphans" of Section 7.2. Clients hit on them and contact the
+// server, but the full-hash response can never match: they are pure
+// tracking probes (or inconsistencies).
+func (s *Server) AddOrphanPrefixes(listName string, prefixes []hashx.Prefix) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.lists[listName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	}
+	var added []hashx.Prefix
+	for _, p := range prefixes {
+		if _, live := l.byPrefix[p]; live {
+			continue
+		}
+		l.byPrefix[p] = nil
+		added = append(added, p)
+	}
+	if len(added) > 0 {
+		l.appendChunk(wire.ChunkAdd, added)
+	}
+	return nil
+}
+
+// AddPrefixes inserts raw prefixes for expressions the server also knows
+// in full (prefix -> digest of the expression string). Used by the
+// tracking shadow database of Algorithm 1, where the provider chooses the
+// prefixes deliberately.
+func (s *Server) AddPrefixes(listName string, expressions []string) error {
+	return s.AddExpressions(listName, expressions)
+}
+
+// RemoveExpressions removes expressions; prefixes whose digest set
+// becomes empty are retired with a sub chunk.
+func (s *Server) RemoveExpressions(listName string, expressions []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.lists[listName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	}
+	var gone []hashx.Prefix
+	for _, e := range expressions {
+		d := hashx.Sum(e)
+		p := d.Prefix()
+		ds, live := l.byPrefix[p]
+		if !live {
+			continue
+		}
+		kept := ds[:0]
+		for _, existing := range ds {
+			if existing != d {
+				kept = append(kept, existing)
+			}
+		}
+		if len(kept) == 0 {
+			delete(l.byPrefix, p)
+			gone = append(gone, p)
+		} else {
+			l.byPrefix[p] = kept
+		}
+	}
+	if len(gone) > 0 {
+		l.appendChunk(wire.ChunkSub, gone)
+	}
+	return nil
+}
+
+func (l *list) appendChunk(typ wire.ChunkType, prefixes []hashx.Prefix) {
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	l.chunks = append(l.chunks, wire.Chunk{
+		List:     l.name,
+		Num:      l.nextChunk,
+		Type:     typ,
+		Prefixes: prefixes,
+	})
+	l.nextChunk++
+}
+
+// Download serves an incremental update: all chunks newer than the
+// client's recorded state, for each requested list.
+func (s *Server) Download(req *wire.DownloadRequest) (*wire.DownloadResponse, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := &wire.DownloadResponse{MinWaitSeconds: s.minWaitSeconds}
+	for _, st := range req.States {
+		l, ok := s.lists[st.List]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownList, st.List)
+		}
+		for _, c := range l.chunks {
+			if c.Num > st.LastChunk {
+				resp.Chunks = append(resp.Chunks, c)
+			}
+		}
+	}
+	return resp, nil
+}
+
+// FullHashes serves a full-hash request and records the probe. This is
+// the moment information leaks from client to provider: the prefixes in
+// req are a function of the URL the client is visiting.
+func (s *Server) FullHashes(req *wire.FullHashRequest) (*wire.FullHashResponse, error) {
+	s.mu.Lock()
+	probe := Probe{
+		Time:     s.now(),
+		ClientID: req.ClientID,
+		Prefixes: append([]hashx.Prefix(nil), req.Prefixes...),
+	}
+	s.probes = append(s.probes, probe)
+	sinks := append([]ProbeSink(nil), s.sinks...)
+	s.mu.Unlock()
+
+	for _, sink := range sinks {
+		sink.Observe(probe)
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := &wire.FullHashResponse{CacheSeconds: s.cacheSeconds}
+	for _, p := range req.Prefixes {
+		for _, name := range s.listOrder {
+			for _, d := range s.lists[name].byPrefix[p] {
+				resp.Entries = append(resp.Entries, wire.FullHashEntry{List: name, Digest: d})
+			}
+		}
+	}
+	return resp, nil
+}
+
+// Subscribe registers a probe sink; every subsequent full-hash request is
+// forwarded to it.
+func (s *Server) Subscribe(sink ProbeSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sinks = append(s.sinks, sink)
+}
+
+// Probes returns a copy of the probe log.
+func (s *Server) Probes() []Probe {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Probe, len(s.probes))
+	copy(out, s.probes)
+	return out
+}
+
+// PrefixesOf returns the sorted live prefixes of a list (the view a fresh
+// client downloads).
+func (s *Server) PrefixesOf(listName string) ([]hashx.Prefix, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lists[listName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	}
+	out := make([]hashx.Prefix, 0, len(l.byPrefix))
+	for p := range l.byPrefix {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// DigestsOf returns the full digests recorded for a prefix in a list.
+// Orphan prefixes return (nil, true).
+func (s *Server) DigestsOf(listName string, p hashx.Prefix) ([]hashx.Digest, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lists[listName]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	}
+	ds, live := l.byPrefix[p]
+	if !live {
+		return nil, false, nil
+	}
+	return append([]hashx.Digest(nil), ds...), true, nil
+}

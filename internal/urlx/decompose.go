@@ -1,0 +1,160 @@
+package urlx
+
+import "strings"
+
+// Decompositions returns the host-suffix × path-prefix expressions of the
+// canonical URL, in protocol order: host suffixes outermost (exact host
+// first, then progressively shorter suffixes), path variants innermost
+// (exact path with query, exact path, then prefixes from the root down).
+//
+// For http://a.b.c/1/2.ext?param=1 this yields the paper's eight
+// decompositions in the paper's order:
+//
+//	a.b.c/1/2.ext?param=1
+//	a.b.c/1/2.ext
+//	a.b.c/
+//	a.b.c/1/
+//	b.c/1/2.ext?param=1
+//	b.c/1/2.ext
+//	b.c/
+//	b.c/1/
+//
+// At most MaxDecompositions strings are returned and duplicates are
+// suppressed.
+func (c Canonical) Decompositions() []string {
+	hosts := c.HostSuffixes()
+	paths := c.PathVariants()
+	out := make([]string, 0, len(hosts)*len(paths))
+	seen := make(map[string]struct{}, len(hosts)*len(paths))
+	for _, h := range hosts {
+		for _, p := range paths {
+			d := h + p
+			if _, dup := seen[d]; dup {
+				continue
+			}
+			seen[d] = struct{}{}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HostSuffixes returns the hostname expressions to try: the exact host
+// plus up to four suffixes formed from the last five components by
+// successively removing the leading component, never the top-level domain
+// alone. IP-address hosts produce only the exact host.
+func (c Canonical) HostSuffixes() []string {
+	out := []string{c.Host}
+	if c.IsIP {
+		return out
+	}
+	labels := strings.Split(c.Host, ".")
+	n := len(labels)
+	if n <= 2 {
+		return out
+	}
+	// Start from the last five components (or fewer), skip the exact host,
+	// stop before the TLD alone.
+	start := n - maxHostSuffixes
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i <= n-2; i++ {
+		if i == 0 {
+			continue // exact host, already included
+		}
+		out = append(out, strings.Join(labels[i:], "."))
+	}
+	return out
+}
+
+// PathVariants returns the path expressions to try: the exact path with
+// query (when a query is present), the exact path, and up to four prefix
+// paths from the root down, each with a trailing slash. Duplicates are
+// suppressed while preserving order.
+func (c Canonical) PathVariants() []string {
+	var out []string
+	seen := make(map[string]struct{}, 6)
+	add := func(p string) {
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+
+	if c.HasQuery {
+		add(c.Path + "?" + c.Query)
+	}
+	add(c.Path)
+
+	segs := strings.Split(strings.Trim(c.Path, "/"), "/")
+	if segs[0] == "" {
+		segs = nil
+	}
+	// Prefix paths are directories only: when the path names a file (no
+	// trailing slash), its final component never becomes a prefix, so
+	// /1/2.ext expands to "/" and "/1/" but not "/1/2.ext/".
+	if !strings.HasSuffix(c.Path, "/") && len(segs) > 0 {
+		segs = segs[:len(segs)-1]
+	}
+	prefix := "/"
+	for i := 0; i <= len(segs) && i < maxPathPrefixes; i++ {
+		if i > 0 {
+			prefix += segs[i-1] + "/"
+		}
+		add(prefix)
+	}
+	return out
+}
+
+// Decompose canonicalizes rawURL and returns its decompositions. It is the
+// one-call form of Canonicalize followed by Decompositions.
+func Decompose(rawURL string) ([]string, error) {
+	c, err := Canonicalize(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decompositions(), nil
+}
+
+// HostOf returns the host part of a decomposition expression (everything
+// before the first '/').
+func HostOf(decomposition string) string {
+	if i := strings.IndexByte(decomposition, '/'); i >= 0 {
+		return decomposition[:i]
+	}
+	return decomposition
+}
+
+// PathOf returns the path-and-query part of a decomposition expression
+// (everything from the first '/'). A bare host yields "/".
+func PathOf(decomposition string) string {
+	if i := strings.IndexByte(decomposition, '/'); i >= 0 {
+		return decomposition[i:]
+	}
+	return "/"
+}
+
+// IsDomainDecomposition reports whether the expression is a bare host root
+// ("host/"): the form whose prefix re-identifies a domain.
+func IsDomainDecomposition(decomposition string) bool {
+	i := strings.IndexByte(decomposition, '/')
+	return i >= 0 && i == len(decomposition)-1
+}
+
+// FromExpression reconstructs a Canonical from an already-canonical
+// decomposition expression ("host/path?query"). It performs no further
+// canonicalization: use it for expressions produced by Decompositions or
+// built by a generator that emits canonical strings.
+func FromExpression(expr string) Canonical {
+	host := HostOf(expr)
+	rest := PathOf(expr)
+	c := Canonical{Host: host, IsIP: isDottedQuad(host)}
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		c.Path, c.Query, c.HasQuery = rest[:i], rest[i+1:], true
+	} else {
+		c.Path = rest
+	}
+	return c
+}

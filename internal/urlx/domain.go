@@ -1,0 +1,49 @@
+package urlx
+
+import "strings"
+
+// _multiLabelSuffixes is a compact built-in set of common two-label public
+// suffixes. The full Public Suffix List cannot be vendored under the
+// stdlib-only constraint; this subset covers the registrable-domain
+// extraction the tracking algorithm needs (the paper's get_domain, which
+// "in most cases will be a Second-Level Domain").
+var _multiLabelSuffixes = map[string]struct{}{
+	"co.uk": {}, "org.uk": {}, "net.uk": {}, "ac.uk": {}, "gov.uk": {},
+	"com.au": {}, "net.au": {}, "org.au": {},
+	"co.jp": {}, "ne.jp": {}, "or.jp": {}, "ac.jp": {},
+	"com.br": {}, "net.br": {}, "org.br": {},
+	"com.cn": {}, "net.cn": {}, "org.cn": {},
+	"co.in": {}, "net.in": {}, "org.in": {},
+	"co.kr": {}, "co.nz": {}, "co.za": {},
+	"com.mx": {}, "com.ar": {}, "com.tr": {},
+}
+
+// RegisteredDomain returns the registrable domain (second-level domain) of
+// a hostname: the public suffix plus one label. IP addresses and hosts with
+// fewer than two labels are returned unchanged.
+func RegisteredDomain(host string) string {
+	if isDottedQuad(host) {
+		return host
+	}
+	labels := strings.Split(host, ".")
+	n := len(labels)
+	if n <= 2 {
+		return host
+	}
+	if _, ok := _multiLabelSuffixes[strings.Join(labels[n-2:], ".")]; ok {
+		if n == 3 {
+			return host
+		}
+		return strings.Join(labels[n-3:], ".")
+	}
+	return strings.Join(labels[n-2:], ".")
+}
+
+// DomainOf canonicalizes rawURL and returns its registrable domain.
+func DomainOf(rawURL string) (string, error) {
+	c, err := Canonicalize(rawURL)
+	if err != nil {
+		return "", err
+	}
+	return RegisteredDomain(c.Host), nil
+}

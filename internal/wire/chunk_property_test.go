@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbprivacy/internal/hashx"
+)
+
+// TestDownloadResponsePropertyRoundTrip: arbitrary chunk batches survive
+// the wire intact — list names, numbers, types and prefix payloads.
+func TestDownloadResponsePropertyRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := &DownloadResponse{MinWaitSeconds: rng.Uint32()}
+		nChunks := rng.Intn(20)
+		for i := 0; i < nChunks; i++ {
+			c := Chunk{
+				List: randListName(rng),
+				Num:  rng.Uint32(),
+				Type: ChunkAdd,
+			}
+			if rng.Intn(2) == 1 {
+				c.Type = ChunkSub
+			}
+			for j := rng.Intn(50); j > 0; j-- {
+				c.Prefixes = append(c.Prefixes, hashx.Prefix(rng.Uint32()))
+			}
+			in.Chunks = append(in.Chunks, c)
+		}
+
+		var buf bytes.Buffer
+		if err := in.Encode(&buf); err != nil {
+			return false
+		}
+		out, err := DecodeDownloadResponse(&buf)
+		if err != nil {
+			return false
+		}
+		if out.MinWaitSeconds != in.MinWaitSeconds || len(out.Chunks) != len(in.Chunks) {
+			return false
+		}
+		for i := range in.Chunks {
+			a, b := in.Chunks[i], out.Chunks[i]
+			if a.List != b.List || a.Num != b.Num || a.Type != b.Type ||
+				len(a.Prefixes) != len(b.Prefixes) {
+				return false
+			}
+			for j := range a.Prefixes {
+				if a.Prefixes[j] != b.Prefixes[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randListName(rng *rand.Rand) string {
+	names := []string{
+		"goog-malware-shavar", "googpub-phish-shavar",
+		"ydx-porno-hosts-top-shavar", "ydx-yellow-shavar", "l",
+	}
+	return names[rng.Intn(len(names))]
+}
+
+// TestFullHashResponsePropertyRoundTrip: arbitrary digest batches
+// round-trip.
+func TestFullHashResponsePropertyRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := &FullHashResponse{CacheSeconds: rng.Uint32()}
+		for i := rng.Intn(30); i > 0; i-- {
+			var d hashx.Digest
+			rng.Read(d[:])
+			in.Entries = append(in.Entries, FullHashEntry{
+				List:   randListName(rng),
+				Digest: d,
+			})
+		}
+		var buf bytes.Buffer
+		if err := in.Encode(&buf); err != nil {
+			return false
+		}
+		out, err := DecodeFullHashResponse(&buf)
+		if err != nil {
+			return false
+		}
+		if out.CacheSeconds != in.CacheSeconds || len(out.Entries) != len(in.Entries) {
+			return false
+		}
+		for i := range in.Entries {
+			if in.Entries[i] != out.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEmptyMessagesRoundTrip: all four message types encode and decode
+// in their zero-ish forms.
+func TestEmptyMessagesRoundTrip(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+
+	dreq := &DownloadRequest{}
+	if err := dreq.Encode(&buf); err != nil {
+		t.Fatalf("encode empty DownloadRequest: %v", err)
+	}
+	if _, err := DecodeDownloadRequest(&buf); err != nil {
+		t.Fatalf("decode empty DownloadRequest: %v", err)
+	}
+
+	buf.Reset()
+	dresp := &DownloadResponse{}
+	if err := dresp.Encode(&buf); err != nil {
+		t.Fatalf("encode empty DownloadResponse: %v", err)
+	}
+	if _, err := DecodeDownloadResponse(&buf); err != nil {
+		t.Fatalf("decode empty DownloadResponse: %v", err)
+	}
+
+	buf.Reset()
+	freq := &FullHashRequest{}
+	if err := freq.Encode(&buf); err != nil {
+		t.Fatalf("encode empty FullHashRequest: %v", err)
+	}
+	if _, err := DecodeFullHashRequest(&buf); err != nil {
+		t.Fatalf("decode empty FullHashRequest: %v", err)
+	}
+
+	buf.Reset()
+	fresp := &FullHashResponse{}
+	if err := fresp.Encode(&buf); err != nil {
+		t.Fatalf("encode empty FullHashResponse: %v", err)
+	}
+	if _, err := DecodeFullHashResponse(&buf); err != nil {
+		t.Fatalf("decode empty FullHashResponse: %v", err)
+	}
+}
+
+// TestLongListNameRejected: names beyond the string limit fail to
+// decode (the encoder writes them, the decoder refuses).
+func TestLongListNameRejected(t *testing.T) {
+	t.Parallel()
+	long := make([]byte, 2048)
+	for i := range long {
+		long[i] = 'x'
+	}
+	in := &DownloadRequest{ClientID: string(long)}
+	var buf bytes.Buffer
+	if err := in.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := DecodeDownloadRequest(&buf); err == nil {
+		t.Error("oversized client id decoded successfully")
+	}
+}

@@ -1,0 +1,388 @@
+// Package wire defines the binary messages exchanged between a Safe
+// Browsing client and server: incremental list downloads (shavar add/sub
+// chunks of 32-bit prefixes) and full-hash requests.
+//
+// The encoding is a compact length-prefixed binary format: a three-byte
+// header (magic, version, message type) followed by uvarint-framed fields.
+// All decoders enforce hard limits so a malicious peer cannot force
+// unbounded allocations.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sbprivacy/internal/hashx"
+)
+
+// Protocol constants.
+const (
+	Magic   = 0x53 // 'S'
+	Version = 1
+)
+
+// MsgType identifies a message on the wire.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgDownloadRequest MsgType = iota + 1
+	MsgDownloadResponse
+	MsgFullHashRequest
+	MsgFullHashResponse
+)
+
+// ChunkType distinguishes additions from removals.
+type ChunkType uint8
+
+// Chunk types. Add chunks insert prefixes; sub chunks remove previously
+// added prefixes (the dynamics that made Bloom filters unsuitable).
+const (
+	ChunkAdd ChunkType = iota + 1
+	ChunkSub
+)
+
+// Decoder limits.
+const (
+	maxStringLen        = 1024
+	maxLists            = 64
+	maxChunksPerMsg     = 16384
+	maxPrefixesPerChunk = 1 << 21
+	maxPrefixesPerReq   = 256
+	maxFullHashEntries  = 4096
+)
+
+// Errors returned by decoders.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic byte")
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	ErrBadType    = errors.New("wire: unexpected message type")
+	ErrTooLarge   = errors.New("wire: field exceeds protocol limit")
+)
+
+// Chunk is one incremental update unit for a list.
+type Chunk struct {
+	List     string
+	Num      uint32
+	Type     ChunkType
+	Prefixes []hashx.Prefix
+}
+
+// ListState reports, per list, the highest chunk number a client has
+// applied; the server responds with everything newer.
+type ListState struct {
+	List      string
+	LastChunk uint32
+}
+
+// DownloadRequest asks for incremental updates on a set of lists.
+type DownloadRequest struct {
+	ClientID string // the Safe Browsing cookie (Section 2.2.3)
+	States   []ListState
+}
+
+// DownloadResponse carries new chunks and the minimum wait before the
+// next poll (the server-imposed query frequency of Section 2.2.1).
+type DownloadResponse struct {
+	MinWaitSeconds uint32
+	Chunks         []Chunk
+}
+
+// FullHashRequest sends the 32-bit prefixes that hit the local database —
+// the exact information the privacy analysis is about.
+type FullHashRequest struct {
+	ClientID string
+	Prefixes []hashx.Prefix
+}
+
+// FullHashEntry is one full digest matching a requested prefix.
+type FullHashEntry struct {
+	List   string
+	Digest hashx.Digest
+}
+
+// FullHashResponse returns every full digest matching any requested
+// prefix, plus how long the client may cache them.
+type FullHashResponse struct {
+	CacheSeconds uint32
+	Entries      []FullHashEntry
+}
+
+type writer struct {
+	w   io.Writer
+	err error
+}
+
+func (e *writer) header(t MsgType) { e.bytes([]byte{Magic, Version, byte(t)}) }
+
+func (e *writer) bytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *writer) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	e.bytes(buf[:n])
+}
+
+func (e *writer) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.bytes([]byte(s))
+}
+
+func (e *writer) prefix(p hashx.Prefix) {
+	b := p.Bytes()
+	e.bytes(b[:])
+}
+
+type reader struct {
+	r *bufio.Reader
+}
+
+func (d *reader) header(want MsgType) error {
+	var h [3]byte
+	if _, err := io.ReadFull(d.r, h[:]); err != nil {
+		return fmt.Errorf("wire: read header: %w", err)
+	}
+	if h[0] != Magic {
+		return ErrBadMagic
+	}
+	if h[1] != Version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, h[1])
+	}
+	if MsgType(h[2]) != want {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadType, h[2], want)
+	}
+	return nil
+}
+
+func (d *reader) uvarint(limit uint64, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, fmt.Errorf("wire: read %s: %w", what, err)
+	}
+	if v > limit {
+		return 0, fmt.Errorf("%w: %s = %d > %d", ErrTooLarge, what, v, limit)
+	}
+	return v, nil
+}
+
+func (d *reader) str(what string) (string, error) {
+	n, err := d.uvarint(maxStringLen, what+" length")
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", fmt.Errorf("wire: read %s: %w", what, err)
+	}
+	return string(buf), nil
+}
+
+func (d *reader) prefix() (hashx.Prefix, error) {
+	var b [hashx.PrefixSize]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		return 0, fmt.Errorf("wire: read prefix: %w", err)
+	}
+	return hashx.PrefixFromBytes(b[:])
+}
+
+func (d *reader) digest() (hashx.Digest, error) {
+	var dg hashx.Digest
+	if _, err := io.ReadFull(d.r, dg[:]); err != nil {
+		return dg, fmt.Errorf("wire: read digest: %w", err)
+	}
+	return dg, nil
+}
+
+// Encode writes the request to w.
+func (m *DownloadRequest) Encode(w io.Writer) error {
+	e := &writer{w: w}
+	e.header(MsgDownloadRequest)
+	e.str(m.ClientID)
+	e.uvarint(uint64(len(m.States)))
+	for _, s := range m.States {
+		e.str(s.List)
+		e.uvarint(uint64(s.LastChunk))
+	}
+	return e.err
+}
+
+// DecodeDownloadRequest reads a DownloadRequest from r.
+func DecodeDownloadRequest(r io.Reader) (*DownloadRequest, error) {
+	d := &reader{r: bufio.NewReader(r)}
+	if err := d.header(MsgDownloadRequest); err != nil {
+		return nil, err
+	}
+	m := &DownloadRequest{}
+	var err error
+	if m.ClientID, err = d.str("client id"); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint(maxLists, "list count")
+	if err != nil {
+		return nil, err
+	}
+	m.States = make([]ListState, n)
+	for i := range m.States {
+		if m.States[i].List, err = d.str("list name"); err != nil {
+			return nil, err
+		}
+		last, err := d.uvarint(1<<32-1, "last chunk")
+		if err != nil {
+			return nil, err
+		}
+		m.States[i].LastChunk = uint32(last)
+	}
+	return m, nil
+}
+
+// Encode writes the response to w.
+func (m *DownloadResponse) Encode(w io.Writer) error {
+	e := &writer{w: w}
+	e.header(MsgDownloadResponse)
+	e.uvarint(uint64(m.MinWaitSeconds))
+	e.uvarint(uint64(len(m.Chunks)))
+	for _, c := range m.Chunks {
+		e.str(c.List)
+		e.uvarint(uint64(c.Num))
+		e.uvarint(uint64(c.Type))
+		e.uvarint(uint64(len(c.Prefixes)))
+		for _, p := range c.Prefixes {
+			e.prefix(p)
+		}
+	}
+	return e.err
+}
+
+// DecodeDownloadResponse reads a DownloadResponse from r.
+func DecodeDownloadResponse(r io.Reader) (*DownloadResponse, error) {
+	d := &reader{r: bufio.NewReader(r)}
+	if err := d.header(MsgDownloadResponse); err != nil {
+		return nil, err
+	}
+	m := &DownloadResponse{}
+	wait, err := d.uvarint(1<<32-1, "min wait")
+	if err != nil {
+		return nil, err
+	}
+	m.MinWaitSeconds = uint32(wait)
+	n, err := d.uvarint(maxChunksPerMsg, "chunk count")
+	if err != nil {
+		return nil, err
+	}
+	m.Chunks = make([]Chunk, n)
+	for i := range m.Chunks {
+		c := &m.Chunks[i]
+		if c.List, err = d.str("list name"); err != nil {
+			return nil, err
+		}
+		num, err := d.uvarint(1<<32-1, "chunk num")
+		if err != nil {
+			return nil, err
+		}
+		c.Num = uint32(num)
+		typ, err := d.uvarint(uint64(ChunkSub), "chunk type")
+		if err != nil {
+			return nil, err
+		}
+		if ChunkType(typ) != ChunkAdd && ChunkType(typ) != ChunkSub {
+			return nil, fmt.Errorf("wire: invalid chunk type %d", typ)
+		}
+		c.Type = ChunkType(typ)
+		np, err := d.uvarint(maxPrefixesPerChunk, "prefix count")
+		if err != nil {
+			return nil, err
+		}
+		c.Prefixes = make([]hashx.Prefix, np)
+		for j := range c.Prefixes {
+			if c.Prefixes[j], err = d.prefix(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// Encode writes the request to w.
+func (m *FullHashRequest) Encode(w io.Writer) error {
+	e := &writer{w: w}
+	e.header(MsgFullHashRequest)
+	e.str(m.ClientID)
+	e.uvarint(uint64(len(m.Prefixes)))
+	for _, p := range m.Prefixes {
+		e.prefix(p)
+	}
+	return e.err
+}
+
+// DecodeFullHashRequest reads a FullHashRequest from r.
+func DecodeFullHashRequest(r io.Reader) (*FullHashRequest, error) {
+	d := &reader{r: bufio.NewReader(r)}
+	if err := d.header(MsgFullHashRequest); err != nil {
+		return nil, err
+	}
+	m := &FullHashRequest{}
+	var err error
+	if m.ClientID, err = d.str("client id"); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint(maxPrefixesPerReq, "prefix count")
+	if err != nil {
+		return nil, err
+	}
+	m.Prefixes = make([]hashx.Prefix, n)
+	for i := range m.Prefixes {
+		if m.Prefixes[i], err = d.prefix(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Encode writes the response to w.
+func (m *FullHashResponse) Encode(w io.Writer) error {
+	e := &writer{w: w}
+	e.header(MsgFullHashResponse)
+	e.uvarint(uint64(m.CacheSeconds))
+	e.uvarint(uint64(len(m.Entries)))
+	for _, fh := range m.Entries {
+		e.str(fh.List)
+		e.bytes(fh.Digest[:])
+	}
+	return e.err
+}
+
+// DecodeFullHashResponse reads a FullHashResponse from r.
+func DecodeFullHashResponse(r io.Reader) (*FullHashResponse, error) {
+	d := &reader{r: bufio.NewReader(r)}
+	if err := d.header(MsgFullHashResponse); err != nil {
+		return nil, err
+	}
+	m := &FullHashResponse{}
+	cache, err := d.uvarint(1<<32-1, "cache seconds")
+	if err != nil {
+		return nil, err
+	}
+	m.CacheSeconds = uint32(cache)
+	n, err := d.uvarint(maxFullHashEntries, "entry count")
+	if err != nil {
+		return nil, err
+	}
+	m.Entries = make([]FullHashEntry, n)
+	for i := range m.Entries {
+		if m.Entries[i].List, err = d.str("list name"); err != nil {
+			return nil, err
+		}
+		if m.Entries[i].Digest, err = d.digest(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

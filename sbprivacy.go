@@ -1,0 +1,257 @@
+// Package sbprivacy is a from-scratch Go reproduction of "A Privacy
+// Analysis of Google and Yandex Safe Browsing" (Gerbet, Kumar, Lauradoux
+// — INRIA RR-8686, DSN 2016).
+//
+// It bundles a complete Safe Browsing v3-style client and server (local
+// prefix database, incremental chunk updates, full-hash round trips,
+// HTTP transport), the client data structures Google deployed (Bloom
+// filter and delta-coded table), and the paper's privacy machinery: the
+// k-anonymity analysis of hashing-and-truncation, URL re-identification
+// from one or more 32-bit prefixes, the Algorithm 1 tracking system, the
+// blacklist audit (orphan prefixes, database inversion, multi-prefix
+// URLs) and the Section 8 mitigations.
+//
+// This package is the public facade: it re-exports the stable entry
+// points from the internal packages so downstream users need a single
+// import. The experiment harness behind every table and figure of the
+// paper is reachable through RunExperiment.
+//
+// Quick start:
+//
+//	server := sbprivacy.NewServer()
+//	_ = server.CreateList("goog-malware-shavar", "malware")
+//	_ = server.AddURL("goog-malware-shavar", "http://evil.example/attack")
+//
+//	client := sbprivacy.NewClient(sbprivacy.LocalTransport{Server: server},
+//		[]string{"goog-malware-shavar"})
+//	_ = client.Update(ctx, true)
+//	verdict, _ := client.CheckURL(ctx, "http://evil.example/attack")
+//	// verdict.Safe == false; verdict.SentPrefixes is what leaked.
+package sbprivacy
+
+import (
+	"sbprivacy/internal/advisor"
+	"sbprivacy/internal/ballsbins"
+	"sbprivacy/internal/blacklist"
+	"sbprivacy/internal/collision"
+	"sbprivacy/internal/core"
+	"sbprivacy/internal/corpus"
+	"sbprivacy/internal/exp"
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/lookupapi"
+	"sbprivacy/internal/mitigation"
+	"sbprivacy/internal/prefixdb"
+	"sbprivacy/internal/sbclient"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/urlx"
+)
+
+// Digest and prefix primitives.
+type (
+	// Digest is a full SHA-256 digest of a canonicalized decomposition.
+	Digest = hashx.Digest
+	// Prefix is the 32-bit Safe Browsing prefix.
+	Prefix = hashx.Prefix
+	// Canonical is a canonicalized URL.
+	Canonical = urlx.Canonical
+)
+
+// Protocol types.
+type (
+	// Server is the Safe Browsing provider.
+	Server = sbserver.Server
+	// Probe is one full-hash request as the provider sees it.
+	Probe = sbserver.Probe
+	// ProbeSink consumes probes (the provider's observation point).
+	ProbeSink = sbserver.ProbeSink
+	// Client is the Safe Browsing client of Figure 3.
+	Client = sbclient.Client
+	// Verdict is a lookup outcome, including what leaked.
+	Verdict = sbclient.Verdict
+	// Transport connects a client to a provider.
+	Transport = sbclient.Transport
+	// LocalTransport is the in-process transport.
+	LocalTransport = sbclient.LocalTransport
+	// HTTPTransport reaches a provider over HTTP.
+	HTTPTransport = sbclient.HTTPTransport
+)
+
+// Privacy-analysis types (the paper's contribution).
+type (
+	// Index is the provider's web index used for re-identification.
+	Index = core.Index
+	// Reidentification is the provider's conclusion from observed
+	// prefixes.
+	Reidentification = core.Reidentification
+	// TrackingPlan is Algorithm 1's output for one target URL.
+	TrackingPlan = core.TrackingPlan
+	// Tracker turns the probe log into tracking events.
+	Tracker = core.Tracker
+	// TrackingEvent is one tracking observation.
+	TrackingEvent = core.Event
+	// Correlator detects temporally correlated queries (Section 6.3).
+	Correlator = core.Correlator
+	// CorrelationRule describes one behaviour to detect.
+	CorrelationRule = core.CorrelationRule
+	// CollisionType classifies Type I/II/III prefix collisions.
+	CollisionType = collision.Type
+	// MitigationChecker performs Section 8 privacy-aware lookups.
+	MitigationChecker = mitigation.Checker
+	// PrivacyAdvisor assesses what a lookup would reveal before it
+	// happens (the paper's future-work browser plugin).
+	PrivacyAdvisor = advisor.Advisor
+	// AdvisorReport is the advisor's pre-lookup assessment.
+	AdvisorReport = advisor.Report
+	// LookupAPIServer is the deprecated plaintext Lookup API — the
+	// privacy-unfriendly baseline the v3 protocol replaced.
+	LookupAPIServer = lookupapi.Server
+	// LookupAPIClient is its plaintext client.
+	LookupAPIClient = lookupapi.Client
+)
+
+// NewLookupAPIServer wraps a Safe Browsing database with the deprecated
+// plaintext Lookup API.
+var NewLookupAPIServer = lookupapi.NewServer
+
+// Experiment harness types.
+type (
+	// ExperimentConfig scales the reproduced experiments.
+	ExperimentConfig = exp.Config
+	// ExperimentResult is one regenerated table or figure.
+	ExperimentResult = exp.Result
+)
+
+// Corpus types.
+type (
+	// CorpusConfig parametrizes synthetic web-corpus generation.
+	CorpusConfig = corpus.Config
+	// Corpus is a generated dataset.
+	Corpus = corpus.Corpus
+	// CorpusProfile selects the Alexa-like or Random-like population.
+	CorpusProfile = corpus.Profile
+)
+
+// Corpus profiles.
+const (
+	// ProfileAlexa models the most popular hosts.
+	ProfileAlexa = corpus.ProfileAlexa
+	// ProfileRandom models random hosts (61% single-page).
+	ProfileRandom = corpus.ProfileRandom
+)
+
+// Server constructors and options.
+var (
+	// NewServer creates an empty Safe Browsing provider.
+	NewServer = sbserver.New
+	// WithMinWait sets the minimum client poll interval.
+	WithMinWait = sbserver.WithMinWait
+	// WithCacheLifetime sets the full-hash cache lifetime.
+	WithCacheLifetime = sbserver.WithCacheLifetime
+)
+
+// Client constructors and options.
+var (
+	// NewClient creates a Safe Browsing client.
+	NewClient = sbclient.New
+	// WithCookie pins the client's Safe Browsing cookie.
+	WithCookie = sbclient.WithCookie
+	// WithStoreFactory selects the local data structure.
+	WithStoreFactory = sbclient.WithStoreFactory
+)
+
+// StoreFactoryKind names a client-side prefix store implementation
+// (paper Section 2.2.2).
+type StoreFactoryKind int
+
+// Store kinds.
+const (
+	// StoreSorted is the raw sorted array (4 bytes/prefix).
+	StoreSorted StoreFactoryKind = iota + 1
+	// StoreDelta is the delta-coded table, Google's production choice.
+	StoreDelta
+)
+
+// StoreFactoryFor returns the factory for a store kind; unknown kinds
+// fall back to the delta-coded default.
+func StoreFactoryFor(kind StoreFactoryKind) sbclient.StoreFactory {
+	switch kind {
+	case StoreSorted:
+		return func() prefixdb.Updatable { return prefixdb.NewSortedSet(nil) }
+	default:
+		return func() prefixdb.Updatable { return prefixdb.NewDeltaStore(nil) }
+	}
+}
+
+// URL canonicalization and decomposition.
+var (
+	// Canonicalize canonicalizes a raw URL per the protocol.
+	Canonicalize = urlx.Canonicalize
+	// Decompose returns the host-suffix/path-prefix expressions.
+	Decompose = urlx.Decompose
+	// RegisteredDomain extracts the registrable domain of a host.
+	RegisteredDomain = urlx.RegisteredDomain
+	// RegisteredDomainOf canonicalizes a URL and extracts its
+	// registrable domain.
+	RegisteredDomainOf = urlx.DomainOf
+)
+
+// Digests.
+var (
+	// Sum hashes a canonical decomposition expression.
+	Sum = hashx.Sum
+	// SumPrefix returns the expression's 32-bit prefix.
+	SumPrefix = hashx.SumPrefix
+)
+
+// Privacy analysis.
+var (
+	// NewIndex builds the provider-side URL index.
+	NewIndex = core.NewIndex
+	// BuildTrackingPlan runs Algorithm 1 for a target URL.
+	BuildTrackingPlan = core.BuildTrackingPlan
+	// NewTracker builds a probe-log tracker over plans.
+	NewTracker = core.NewTracker
+	// NewCorrelator builds a temporal-correlation engine.
+	NewCorrelator = core.NewCorrelator
+	// NewCorrelationRule builds a rule from URL expressions.
+	NewCorrelationRule = core.NewCorrelationRule
+	// ClassifyCollision determines the Type I/II/III class.
+	ClassifyCollision = collision.Classify
+	// AggregateProbes groups a probe log into per-client windows (the
+	// Section 4 aggregation threat).
+	AggregateProbes = core.AggregateProbes
+)
+
+// Analytics.
+var (
+	// MaxLoadEstimate evaluates Raab-Steger Theorem 1.
+	MaxLoadEstimate = ballsbins.MaxLoad
+	// PoissonMaxLoad is the exact expected-maximum estimator.
+	PoissonMaxLoad = ballsbins.PoissonMaxLoad
+	// GenerateCorpus builds a synthetic web corpus.
+	GenerateCorpus = corpus.Generate
+	// ComputeCorpusStats measures a corpus.
+	ComputeCorpusStats = corpus.ComputeStats
+)
+
+// Blacklist audit.
+var (
+	// BuildUniverse constructs the synthetic provider databases.
+	BuildUniverse = blacklist.BuildUniverse
+	// AuditOrphans measures full hashes per prefix (Table 11).
+	AuditOrphans = blacklist.AuditOrphans
+	// InvertBlacklist attempts cleartext reconstruction (Table 10).
+	InvertBlacklist = blacklist.Invert
+	// FindMultiPrefixURLs scans for Table 12-style URLs.
+	FindMultiPrefixURLs = blacklist.FindMultiPrefixURLs
+)
+
+// Experiments.
+var (
+	// RunExperiment regenerates one table or figure by id.
+	RunExperiment = exp.Run
+	// RunAllExperiments regenerates everything.
+	RunAllExperiments = exp.RunAll
+	// ExperimentIDs lists the known experiment ids.
+	ExperimentIDs = exp.IDs
+)

@@ -1,0 +1,83 @@
+package sbprivacy_test
+
+import (
+	"context"
+	"testing"
+
+	"sbprivacy"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the package
+// documentation advertises it.
+func TestPublicAPIQuickstart(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+
+	server := sbprivacy.NewServer()
+	if err := server.CreateList("goog-malware-shavar", "malware"); err != nil {
+		t.Fatalf("CreateList: %v", err)
+	}
+	if err := server.AddURL("goog-malware-shavar", "http://evil.example/attack"); err != nil {
+		t.Fatalf("AddURL: %v", err)
+	}
+
+	client := sbprivacy.NewClient(
+		sbprivacy.LocalTransport{Server: server},
+		[]string{"goog-malware-shavar"},
+		sbprivacy.WithCookie("api-test"),
+	)
+	if err := client.Update(ctx, true); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	verdict, err := client.CheckURL(ctx, "http://evil.example/attack")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if verdict.Safe {
+		t.Error("blacklisted URL judged safe through the facade")
+	}
+	if len(verdict.SentPrefixes) == 0 {
+		t.Error("no leak recorded")
+	}
+}
+
+// TestPublicAPIPrivacyAnalysis drives the analysis entry points.
+func TestPublicAPIPrivacyAnalysis(t *testing.T) {
+	t.Parallel()
+	index := sbprivacy.NewIndex([]string{
+		"petsymposium.org/",
+		"petsymposium.org/2016/cfp.php",
+	})
+	plan, err := sbprivacy.BuildTrackingPlan(index, "https://petsymposium.org/2016/cfp.php", 4)
+	if err != nil {
+		t.Fatalf("BuildTrackingPlan: %v", err)
+	}
+	if len(plan.Prefixes) != 2 {
+		t.Errorf("plan prefixes = %v", plan.Prefixes)
+	}
+	re := index.Reidentify(plan.Prefixes)
+	if !re.Exact {
+		t.Errorf("plan does not re-identify: %+v", re)
+	}
+	if p := sbprivacy.SumPrefix("petsymposium.org/2016/cfp.php"); p != 0xe70ee6d1 {
+		t.Errorf("SumPrefix = %v", p)
+	}
+	if d, err := sbprivacy.RegisteredDomainOf("http://a.b.example.com/x"); err != nil || d != "example.com" {
+		t.Errorf("RegisteredDomainOf = %q, %v", d, err)
+	}
+}
+
+// TestPublicAPIExperiments runs one experiment through the facade.
+func TestPublicAPIExperiments(t *testing.T) {
+	t.Parallel()
+	if len(sbprivacy.ExperimentIDs()) < 15 {
+		t.Fatalf("ExperimentIDs = %v", sbprivacy.ExperimentIDs())
+	}
+	r, err := sbprivacy.RunExperiment("table4", sbprivacy.ExperimentConfig{Hosts: 100, Scale: 1000, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if r.ID != "table4" || r.Text == "" {
+		t.Errorf("result = %+v", r)
+	}
+}
