@@ -10,7 +10,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sbprivacy/internal/ballsbins"
 	"sbprivacy/internal/blacklist"
@@ -24,6 +27,7 @@ import (
 	"sbprivacy/internal/sbclient"
 	"sbprivacy/internal/sbserver"
 	"sbprivacy/internal/urlx"
+	"sbprivacy/internal/wire"
 )
 
 var benchCfg = exp.Config{Hosts: 500, Scale: 300, Seed: 42}
@@ -202,6 +206,171 @@ func BenchmarkAblationDummyFanout(b *testing.B) {
 			b.ReportMetric(float64(len(out)), fmt.Sprintf("sent-k%d", k))
 		}
 	}
+}
+
+// --- Server concurrency benchmarks: the sharded provider under
+// fleet-scale parallel traffic. Run with -cpu=1,2,8 to see the striped
+// index scale with GOMAXPROCS, where the seed's single RWMutex
+// flat-lined:
+//
+//	go test -bench=ServerConcurrent -cpu=1,8 -benchmem
+const benchServerList = "goog-malware-shavar"
+
+// benchServer builds a server preloaded with n expressions and returns
+// it along with the planted prefixes.
+func benchServer(b *testing.B, n int) (*sbserver.Server, []hashx.Prefix) {
+	b.Helper()
+	server := sbserver.New(sbserver.WithProbeLogLimit(1 << 16))
+	if err := server.CreateList(benchServerList, "malware"); err != nil {
+		b.Fatal(err)
+	}
+	exprs := make([]string, n)
+	prefixes := make([]hashx.Prefix, n)
+	for i := range exprs {
+		exprs[i] = fmt.Sprintf("host%d.example/path/%d", i, i)
+		prefixes[i] = hashx.SumPrefix(exprs[i])
+	}
+	if err := server.AddExpressions(benchServerList, exprs); err != nil {
+		b.Fatal(err)
+	}
+	return server, prefixes
+}
+
+// BenchmarkServerConcurrentFullHash hammers the full-hash path from
+// GOMAXPROCS goroutines: every iteration is one 4-prefix request (3 hits
+// + 1 miss), the workload the paper's provider sees from a fleet of
+// clients. Different goroutines touch different prefixes, so the striped
+// index serves them without contention.
+func BenchmarkServerConcurrentFullHash(b *testing.B) {
+	server, prefixes := benchServer(b, 100000)
+	defer server.Close() //nolint:errcheck // bench
+	var worker int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine is one client with its own cookie, as in a
+		// real fleet; distinct cookies ride distinct pipeline stripes.
+		cookie := fmt.Sprintf("client-%d", atomic.AddInt64(&worker, 1))
+		req := &wire.FullHashRequest{ClientID: cookie, Prefixes: make([]hashx.Prefix, 4)}
+		i := 0
+		for pb.Next() {
+			base := i * 3
+			req.Prefixes[0] = prefixes[base%len(prefixes)]
+			req.Prefixes[1] = prefixes[(base+1)%len(prefixes)]
+			req.Prefixes[2] = prefixes[(base+2)%len(prefixes)]
+			req.Prefixes[3] = hashx.Prefix(i) // miss
+			if _, err := server.FullHashes(req); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServerConcurrentUpdate measures parallel database mutation:
+// each goroutine streams unique digests into the shared list. Under the
+// seed design every insert serialized on the global write lock; here the
+// cost is one list lock plus one index stripe per digest.
+func BenchmarkServerConcurrentUpdate(b *testing.B) {
+	server, _ := benchServer(b, 1)
+	defer server.Close() //nolint:errcheck // bench
+	var worker int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := atomic.AddInt64(&worker, 1)
+		batch := make([]hashx.Digest, 16)
+		i := 0
+		for pb.Next() {
+			for j := range batch {
+				batch[j] = hashx.Sum(fmt.Sprintf("w%d-%d-%d.example/", id, i, j))
+			}
+			if err := server.AddDigests(benchServerList, batch); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// seedDesignServer replicates the pre-sharding provider for comparison:
+// one global RWMutex, a per-list prefix map consulted in list order, and
+// a probe log appended under the write lock. It exists only as the
+// baseline of BenchmarkAblationServerSeedDesign.
+type seedDesignServer struct {
+	mu       sync.RWMutex
+	byPrefix map[hashx.Prefix][]hashx.Digest
+	probes   []sbserver.Probe
+}
+
+func (s *seedDesignServer) fullHashes(req *wire.FullHashRequest) *wire.FullHashResponse {
+	s.mu.Lock()
+	s.probes = append(s.probes, sbserver.Probe{
+		Time:     time.Now(),
+		ClientID: req.ClientID,
+		Prefixes: append([]hashx.Prefix(nil), req.Prefixes...),
+	})
+	s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := &wire.FullHashResponse{CacheSeconds: sbserver.DefaultCacheSeconds}
+	for _, p := range req.Prefixes {
+		for _, d := range s.byPrefix[p] {
+			resp.Entries = append(resp.Entries, wire.FullHashEntry{List: benchServerList, Digest: d})
+		}
+	}
+	return resp
+}
+
+// BenchmarkAblationServerSeedDesign runs the exact workload of
+// BenchmarkServerConcurrentFullHash against the seed's global-lock
+// design. The gap between the two under -cpu > 1 is the contention cost
+// the striped index and async probe pipeline remove.
+func BenchmarkAblationServerSeedDesign(b *testing.B) {
+	seed := &seedDesignServer{byPrefix: make(map[hashx.Prefix][]hashx.Digest, 100000)}
+	for i := 0; i < 100000; i++ {
+		d := hashx.Sum(fmt.Sprintf("host%d.example/path/%d", i, i))
+		seed.byPrefix[d.Prefix()] = append(seed.byPrefix[d.Prefix()], d)
+	}
+	prefixes := make([]hashx.Prefix, 100000)
+	for i := range prefixes {
+		prefixes[i] = hashx.SumPrefix(fmt.Sprintf("host%d.example/path/%d", i, i))
+	}
+	var worker int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cookie := fmt.Sprintf("client-%d", atomic.AddInt64(&worker, 1))
+		req := &wire.FullHashRequest{ClientID: cookie, Prefixes: make([]hashx.Prefix, 4)}
+		i := 0
+		for pb.Next() {
+			base := i * 3
+			req.Prefixes[0] = prefixes[base%len(prefixes)]
+			req.Prefixes[1] = prefixes[(base+1)%len(prefixes)]
+			req.Prefixes[2] = prefixes[(base+2)%len(prefixes)]
+			req.Prefixes[3] = hashx.Prefix(i)
+			seed.fullHashes(req)
+			i++
+		}
+	})
+}
+
+// BenchmarkServerBatchFullHash measures the batch API's per-request
+// amortization: one call carries 32 requests.
+func BenchmarkServerBatchFullHash(b *testing.B) {
+	server, prefixes := benchServer(b, 100000)
+	defer server.Close() //nolint:errcheck // bench
+	reqs := make([]*wire.FullHashRequest, 32)
+	for i := range reqs {
+		reqs[i] = &wire.FullHashRequest{
+			ClientID: "bench",
+			Prefixes: []hashx.Prefix{prefixes[i], prefixes[i+32]},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.FullHashesBatch(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(32, "reqs/op")
 }
 
 // --- Protocol micro-benchmarks.

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sbprivacy/internal/blacklist"
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/wire"
+)
+
+// loadTest hammers the sharded provider with concurrent batched
+// full-hash traffic — the fleet-scale workload of the paper's threat
+// model — and reports sustained throughput plus the probe pipeline's
+// accounting. It answers "how many clients' probes can this provider
+// simulator absorb" without go test.
+func loadTest(workers, batch int, duration time.Duration, scale int, seed int64) error {
+	u, err := blacklist.BuildUniverse(blacklist.UniverseConfig{
+		Provider: blacklist.Google, Scale: scale, Seed: seed,
+		// A sustained load run records millions of probes; keep only a
+		// bounded window so the load generator doesn't eat the heap.
+		ServerOptions: []sbserver.Option{sbserver.WithProbeLogLimit(1 << 16)},
+	})
+	if err != nil {
+		return err
+	}
+	srv := u.Server
+	defer srv.Close() //nolint:errcheck // drained below
+
+	// Collect real planted prefixes so a share of the traffic hits.
+	var prefixes []hashx.Prefix
+	for _, name := range srv.ListNames() {
+		ps, err := srv.PrefixesOf(name)
+		if err != nil {
+			return err
+		}
+		prefixes = append(prefixes, ps...)
+	}
+	if len(prefixes) == 0 {
+		return fmt.Errorf("loadtest: universe has no prefixes")
+	}
+	fmt.Printf("loadtest: %d workers x %d-request batches for %v over %d prefixes\n",
+		workers, batch, duration, len(prefixes))
+
+	var (
+		requests atomic.Uint64
+		entries  atomic.Uint64
+		wg       sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			reqs := make([]*wire.FullHashRequest, batch)
+			for i := range reqs {
+				reqs[i] = &wire.FullHashRequest{
+					ClientID: fmt.Sprintf("load-%d-%d", id, i),
+					Prefixes: make([]hashx.Prefix, 2),
+				}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, req := range reqs {
+					req.Prefixes[0] = prefixes[rng.Intn(len(prefixes))] // hit
+					req.Prefixes[1] = hashx.Prefix(rng.Uint32())       // ~always a miss
+				}
+				resps, err := srv.FullHashesBatch(reqs)
+				if err != nil {
+					fmt.Printf("loadtest: %v\n", err)
+					return
+				}
+				requests.Add(uint64(len(reqs)))
+				for _, r := range resps {
+					entries.Add(uint64(len(r.Entries)))
+				}
+			}
+		}(w)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	stats := srv.ProbeStats()
+	total := requests.Load()
+	fmt.Printf("loadtest: %d full-hash requests in %v = %.0f req/s\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Printf("loadtest: %d matched entries returned\n", entries.Load())
+	fmt.Printf("loadtest: probes received=%d dropped=%d evicted=%d\n",
+		stats.Received, stats.Dropped, stats.Evicted)
+	return nil
+}

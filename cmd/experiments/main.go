@@ -5,6 +5,7 @@
 //	experiments -run table5            # one experiment
 //	experiments -run all               # everything
 //	experiments -run figure5 -hosts 20000
+//	experiments -loadtest 8 -loadtest-secs 5   # provider throughput load test
 //
 // Scale knobs: -hosts controls the synthetic corpus size (Figures 5/6,
 // Table 8); -scale divides the blacklist/dataset sizes (Tables 9-12).
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"sbprivacy/internal/corpus"
 	"sbprivacy/internal/exp"
@@ -31,8 +33,20 @@ func run() int {
 		scale  = flag.Int("scale", 100, "blacklist scale divisor")
 		seed   = flag.Int64("seed", 2015, "generation seed")
 		csvDir = flag.String("csv", "", "directory to write the per-host Figure 5/6 series as CSV")
+
+		loadWorkers = flag.Int("loadtest", 0, "run a provider load test with N concurrent workers instead of experiments")
+		loadBatch   = flag.Int("loadtest-batch", 32, "full-hash requests per batch call in the load test")
+		loadSecs    = flag.Int("loadtest-secs", 5, "load test duration in seconds")
 	)
 	flag.Parse()
+
+	if *loadWorkers > 0 {
+		if err := loadTest(*loadWorkers, *loadBatch, time.Duration(*loadSecs)*time.Second, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	cfg := exp.Config{Hosts: *hosts, Scale: *scale, Seed: *seed}
 	var results []*exp.Result

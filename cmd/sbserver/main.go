@@ -1,17 +1,29 @@
 // Command sbserver runs a Safe Browsing server over HTTP, loaded with
-// the synthetic GSB or YSB blacklists (Tables 1 and 3, scaled).
+// the synthetic GSB or YSB blacklists (Tables 1 and 3, scaled) and
+// optionally with extra URLs from a file.
 //
 // Usage:
 //
 //	sbserver -addr :8045 -provider yandex -scale 100
+//	sbserver -urls blacklist.txt -probe-log-limit 100000 -probe-drop
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: the HTTP listener
+// stops, the probe pipeline is flushed, and the probe counters are
+// printed — the provider's final accounting of what it observed.
 package main
 
 import (
+	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"sbprivacy/internal/blacklist"
@@ -24,10 +36,15 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8045", "listen address")
-		provider = flag.String("provider", "google", "blacklist inventory: google or yandex")
-		scale    = flag.Int("scale", 100, "scale divisor for list sizes")
-		seed     = flag.Int64("seed", 2015, "generation seed")
+		addr      = flag.String("addr", "127.0.0.1:8045", "listen address")
+		provider  = flag.String("provider", "google", "blacklist inventory: google or yandex")
+		scale     = flag.Int("scale", 100, "scale divisor for list sizes")
+		seed      = flag.Int64("seed", 2015, "generation seed")
+		urlsFile  = flag.String("urls", "", "file of URLs (one per line) to blacklist on top of the synthetic lists")
+		urlsList  = flag.String("urls-list", "goog-malware-shavar", "list receiving -urls entries")
+		probeBuf  = flag.Int("probe-buffer", sbserver.DefaultProbeBuffer, "probe pipeline buffer size")
+		probeCap  = flag.Int("probe-log-limit", 0, "keep only the most recent N probes (0 = unbounded)")
+		probeDrop = flag.Bool("probe-drop", false, "shed probes when the pipeline is saturated instead of applying backpressure")
 	)
 	flag.Parse()
 
@@ -42,10 +59,27 @@ func run() int {
 		return 2
 	}
 
-	u, err := blacklist.BuildUniverse(blacklist.UniverseConfig{Provider: p, Scale: *scale, Seed: *seed})
+	opts := []sbserver.Option{
+		sbserver.WithProbeBuffer(*probeBuf),
+		sbserver.WithProbeLogLimit(*probeCap),
+	}
+	if *probeDrop {
+		opts = append(opts, sbserver.WithProbeOverflow(sbserver.OverflowDrop))
+	}
+	u, err := blacklist.BuildUniverse(blacklist.UniverseConfig{
+		Provider: p, Scale: *scale, Seed: *seed, ServerOptions: opts,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbserver: %v\n", err)
 		return 1
+	}
+	if *urlsFile != "" {
+		n, err := loadURLs(u.Server, *urlsList, *urlsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbserver: load %s: %v\n", *urlsFile, err)
+			return 1
+		}
+		log.Printf("loaded %d URLs from %s into %s", n, *urlsFile, *urlsList)
 	}
 	for _, name := range u.Server.ListNames() {
 		n, _ := u.Server.ListLen(name)
@@ -58,9 +92,75 @@ func run() int {
 		Handler:           sbserver.Handler(u.Server),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := httpServer.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
 		fmt.Fprintf(os.Stderr, "sbserver: %v\n", err)
 		return 1
+	case <-ctx.Done():
 	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Printf("sbserver: shutdown: %v", err)
+	}
+	if err := u.Server.Close(); err != nil { // flush the probe pipeline
+		log.Printf("sbserver: close: %v", err)
+	}
+	stats := u.Server.ProbeStats()
+	log.Printf("probes: received=%d dropped=%d evicted=%d", stats.Received, stats.Dropped, stats.Evicted)
 	return 0
+}
+
+// loadURLs streams a URL file into the server in batches via AddURLs.
+func loadURLs(s *sbserver.Server, list, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close() //nolint:errcheck // read-side close
+
+	const batchSize = 512
+	total := 0
+	batch := make([]string, 0, batchSize)
+	add := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := s.AddURLs(list, batch); err != nil {
+			return err
+		}
+		total += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		batch = append(batch, line)
+		if len(batch) == batchSize {
+			if err := add(); err != nil {
+				return total, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return total, err
+	}
+	if err := add(); err != nil {
+		return total, err
+	}
+	if total == 0 {
+		return 0, errors.New("no URLs found")
+	}
+	return total, nil
 }

@@ -93,6 +93,7 @@ func run() int {
 	fmt.Printf("\nvictim visits %s\n", *visit)
 	fmt.Printf("  prefixes sent to provider: %v\n", v.SentPrefixes)
 
+	server.Flush() // probe delivery to the tracker is async
 	events := tracker.Events()
 	if len(events) == 0 {
 		fmt.Println("  -> no tracking event (fewer than 2 shadow prefixes observed)")

@@ -68,7 +68,9 @@ func main() {
 	browse(ctx, bob, "https://petsymposium.org/2016/links.php")      // a collider page
 	browse(ctx, carol, "http://unrelated.example/recipes/cake.html") // clean browsing
 
-	// The provider's conclusions.
+	// The provider's conclusions. Probe delivery is asynchronous; flush
+	// the pipeline before reading the observers.
+	server.Flush()
 	fmt.Println("\ntracking events:")
 	for _, e := range tracker.Events() {
 		fmt.Printf("    %s visited %s (certainty: %s)\n", e.ClientID, e.URL, e.Certainty)

@@ -1,0 +1,3 @@
+module sbprivacy
+
+go 1.22

@@ -109,7 +109,9 @@ func TestIntegrationFullAttackOverHTTP(t *testing.T) {
 		t.Fatalf("victim CheckURL submission: %v", err)
 	}
 
-	// The provider's conclusions.
+	// The provider's conclusions. Probe delivery to the tracker and
+	// correlator is asynchronous; flush before reading their state.
+	server.Flush()
 	events := tracker.EventsFor("victim")
 	if len(events) != 1 {
 		t.Fatalf("victim events = %+v", events)

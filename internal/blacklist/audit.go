@@ -44,32 +44,53 @@ func AuditOrphans(s *sbserver.Server, list string) (OrphanReport, error) {
 		return report, err
 	}
 	report.Total = len(prefixes)
+	// Stream in bounded groups of batched requests so a full-scale list
+	// never holds all its responses in memory at once.
+	reqs := make([]*wire.FullHashRequest, 0, wire.MaxBatchRequests)
+	crawl := func() error {
+		if len(reqs) == 0 {
+			return nil
+		}
+		resps, err := s.FullHashesBatch(reqs)
+		if err != nil {
+			return err
+		}
+		for i, resp := range resps {
+			batch := reqs[i].Prefixes
+			counts := make(map[hashx.Prefix]int, len(batch))
+			for _, e := range resp.Entries {
+				counts[e.Digest.Prefix()]++
+			}
+			for _, p := range batch {
+				switch counts[p] {
+				case 0:
+					report.Zero++
+				case 1:
+					report.One++
+				case 2:
+					report.Two++
+				default:
+					report.More++
+				}
+			}
+		}
+		reqs = reqs[:0]
+		return nil
+	}
 	for start := 0; start < len(prefixes); start += fullHashBatch {
 		end := start + fullHashBatch
 		if end > len(prefixes) {
 			end = len(prefixes)
 		}
-		batch := prefixes[start:end]
-		resp, err := s.FullHashes(&wire.FullHashRequest{ClientID: "auditor", Prefixes: batch})
-		if err != nil {
-			return report, err
-		}
-		counts := make(map[hashx.Prefix]int, len(batch))
-		for _, e := range resp.Entries {
-			counts[e.Digest.Prefix()]++
-		}
-		for _, p := range batch {
-			switch counts[p] {
-			case 0:
-				report.Zero++
-			case 1:
-				report.One++
-			case 2:
-				report.Two++
-			default:
-				report.More++
+		reqs = append(reqs, &wire.FullHashRequest{ClientID: "auditor", Prefixes: prefixes[start:end]})
+		if len(reqs) == wire.MaxBatchRequests {
+			if err := crawl(); err != nil {
+				return report, err
 			}
 		}
+	}
+	if err := crawl(); err != nil {
+		return report, err
 	}
 	return report, nil
 }

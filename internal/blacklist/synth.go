@@ -17,6 +17,9 @@ type UniverseConfig struct {
 	Scale int
 	// Seed drives deterministic content generation.
 	Seed int64
+	// ServerOptions configure the embedded sbserver.Server (probe
+	// pipeline sizing, overflow policy, clocks).
+	ServerOptions []sbserver.Option
 }
 
 // Universe is a synthetic provider database whose composition (orphan
@@ -80,7 +83,7 @@ func BuildUniverse(cfg UniverseConfig) (*Universe, error) {
 		return nil, fmt.Errorf("blacklist: unknown provider %d", int(cfg.Provider))
 	}
 	u := &Universe{
-		Server:    sbserver.New(),
+		Server:    sbserver.New(cfg.ServerOptions...),
 		Datasets:  make(map[string][]string),
 		Inventory: inventory,
 		pools:     make(map[string][]string),

@@ -82,6 +82,7 @@ func TestTrackerEndToEnd(t *testing.T) {
 		t.Fatalf("victim sent %v", v.SentPrefixes)
 	}
 
+	f.server.Flush() // probe delivery to sinks is async
 	events := f.tracker.Events()
 	if len(events) != 1 {
 		t.Fatalf("events = %+v", events)
@@ -110,6 +111,7 @@ func TestTrackerDomainVisitInsufficient(t *testing.T) {
 	if _, err := client.CheckURL(context.Background(), "https://petsymposium.org/"); err != nil {
 		t.Fatalf("CheckURL: %v", err)
 	}
+	f.server.Flush()
 	if events := f.tracker.Events(); len(events) != 0 {
 		t.Errorf("domain-root visit fired events: %+v", events)
 	}
@@ -125,6 +127,7 @@ func TestTrackerColliderCertainty(t *testing.T) {
 	if _, err := client.CheckURL(context.Background(), "https://petsymposium.org/2016/links.php"); err != nil {
 		t.Fatalf("CheckURL: %v", err)
 	}
+	f.server.Flush()
 	events := f.tracker.Events()
 	if len(events) != 1 {
 		t.Fatalf("events = %+v", events)
@@ -143,6 +146,7 @@ func TestTrackerDomainOnlyMode(t *testing.T) {
 	if _, err := client.CheckURL(context.Background(), "https://petsymposium.org/2016/"); err != nil {
 		t.Fatalf("CheckURL: %v", err)
 	}
+	f.server.Flush()
 	events := f.tracker.Events()
 	if len(events) != 1 {
 		t.Fatalf("events = %+v", events)
@@ -165,6 +169,7 @@ func TestTrackerCacheSuppressesRepeats(t *testing.T) {
 			t.Fatalf("CheckURL: %v", err)
 		}
 	}
+	f.server.Flush()
 	if events := f.tracker.Events(); len(events) != 1 {
 		t.Errorf("events = %d, want 1 (cache suppresses repeats)", len(events))
 	}
@@ -173,6 +178,7 @@ func TestTrackerCacheSuppressesRepeats(t *testing.T) {
 	if _, err := client.CheckURL(ctx, "https://petsymposium.org/2016/cfp.php"); err != nil {
 		t.Fatalf("CheckURL: %v", err)
 	}
+	f.server.Flush()
 	if events := f.tracker.Events(); len(events) != 2 {
 		t.Errorf("events = %d, want 2 after expiry", len(events))
 	}

@@ -190,6 +190,7 @@ func TestTrackingPlanReidentifies(t *testing.T) {
 		"petsymposium.org/2016/links.php",
 		"petsymposium.org/2016/",
 	} {
+		target := target // pin for the parallel subtest under pre-1.22 loop semantics
 		t.Run(target, func(t *testing.T) {
 			t.Parallel()
 			plan, err := BuildTrackingPlan(x, "https://"+target, 8)

@@ -363,4 +363,76 @@ func TestHTTPTransportErrors(t *testing.T) {
 	if err == nil {
 		t.Error("unreachable server download: want error")
 	}
+	_, err = tr.FullHashesBatch(context.Background(), []*wire.FullHashRequest{{ClientID: "c"}})
+	if err == nil {
+		t.Error("unreachable server batch: want error")
+	}
+}
+
+// TestTransportsBatchAgree: LocalTransport and HTTPTransport return the
+// same batch responses the sequential API would, over the batch wire
+// path.
+func TestTransportsBatchAgree(t *testing.T) {
+	t.Parallel()
+	srv := sbserver.New()
+	if err := srv.CreateList(testList, "malware"); err != nil {
+		t.Fatalf("CreateList: %v", err)
+	}
+	if err := srv.AddExpressions(testList, []string{"evil.example/", "bad.example/"}); err != nil {
+		t.Fatalf("AddExpressions: %v", err)
+	}
+	ts := httptest.NewServer(sbserver.Handler(srv))
+	defer ts.Close()
+
+	reqs := []*wire.FullHashRequest{
+		{ClientID: "c1", Prefixes: []hashx.Prefix{hashx.SumPrefix("evil.example/")}},
+		{ClientID: "c2", Prefixes: []hashx.Prefix{hashx.SumPrefix("bad.example/"), 7}},
+	}
+	ctx := context.Background()
+	local, err := LocalTransport{Server: srv}.FullHashesBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("local batch: %v", err)
+	}
+	remote, err := HTTPTransport{BaseURL: ts.URL, Client: ts.Client()}.FullHashesBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("http batch: %v", err)
+	}
+	if len(local) != len(reqs) || len(remote) != len(reqs) {
+		t.Fatalf("batch sizes: local=%d remote=%d", len(local), len(remote))
+	}
+	for i := range reqs {
+		if len(local[i].Entries) != len(remote[i].Entries) {
+			t.Errorf("req %d: local %d entries, remote %d", i, len(local[i].Entries), len(remote[i].Entries))
+			continue
+		}
+		for j := range local[i].Entries {
+			if local[i].Entries[j] != remote[i].Entries[j] {
+				t.Errorf("req %d entry %d: %+v vs %+v", i, j, local[i].Entries[j], remote[i].Entries[j])
+			}
+		}
+	}
+	if got := len(srv.Probes()); got != 2*len(reqs) {
+		t.Errorf("probes = %d, want %d (one per request per transport)", got, 2*len(reqs))
+	}
+
+	// Oversized batches are split into wire-sized frames transparently.
+	big := make([]*wire.FullHashRequest, wire.MaxBatchRequests+37)
+	for i := range big {
+		big[i] = &wire.FullHashRequest{
+			ClientID: "bulk",
+			Prefixes: []hashx.Prefix{hashx.SumPrefix("evil.example/")},
+		}
+	}
+	resps, err := HTTPTransport{BaseURL: ts.URL, Client: ts.Client()}.FullHashesBatch(ctx, big)
+	if err != nil {
+		t.Fatalf("oversized http batch: %v", err)
+	}
+	if len(resps) != len(big) {
+		t.Fatalf("oversized batch responses = %d, want %d", len(resps), len(big))
+	}
+	for i, r := range resps {
+		if len(r.Entries) != 1 {
+			t.Fatalf("oversized batch resp[%d] entries = %d", i, len(r.Entries))
+		}
+	}
 }

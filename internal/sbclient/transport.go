@@ -35,6 +35,14 @@ func (t LocalTransport) FullHashes(ctx context.Context, req *wire.FullHashReques
 	return t.Server.FullHashes(req)
 }
 
+// FullHashesBatch issues several full-hash requests in one call.
+func (t LocalTransport) FullHashesBatch(ctx context.Context, reqs []*wire.FullHashRequest) ([]*wire.FullHashResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.Server.FullHashesBatch(reqs)
+}
+
 // HTTPTransport talks to a remote server over HTTP using the binary wire
 // format.
 type HTTPTransport struct {
@@ -93,4 +101,38 @@ func (t HTTPTransport) FullHashes(ctx context.Context, req *wire.FullHashRequest
 	}
 	defer body.Close() //nolint:errcheck // read-side close
 	return wire.DecodeFullHashResponse(body)
+}
+
+// FullHashesBatch issues several full-hash requests against the
+// server's batch endpoint, transparently splitting into frames of at
+// most wire.MaxBatchRequests per HTTP round trip.
+func (t HTTPTransport) FullHashesBatch(ctx context.Context, reqs []*wire.FullHashRequest) ([]*wire.FullHashResponse, error) {
+	out := make([]*wire.FullHashResponse, 0, len(reqs))
+	for start := 0; start < len(reqs); start += wire.MaxBatchRequests {
+		end := start + wire.MaxBatchRequests
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		frame := reqs[start:end]
+		batch := wire.FullHashBatchRequest{Requests: make([]wire.FullHashRequest, len(frame))}
+		for i, req := range frame {
+			batch.Requests[i] = *req
+		}
+		body, err := t.post(ctx, sbserver.PathFullHashBatch, batch.Encode)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := wire.DecodeFullHashBatchResponse(body)
+		body.Close() //nolint:errcheck // read-side close
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Responses) != len(frame) {
+			return nil, fmt.Errorf("sbclient: batch returned %d responses for %d requests", len(resp.Responses), len(frame))
+		}
+		for i := range resp.Responses {
+			out = append(out, &resp.Responses[i])
+		}
+	}
+	return out, nil
 }

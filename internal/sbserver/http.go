@@ -10,8 +10,9 @@ import (
 // HTTP endpoints. The Safe Browsing service lives at the application
 // layer of the standard Internet stack (paper Section 2.2).
 const (
-	PathDownloads = "/safebrowsing/downloads"
-	PathFullHash  = "/safebrowsing/gethash"
+	PathDownloads     = "/safebrowsing/downloads"
+	PathFullHash      = "/safebrowsing/gethash"
+	PathFullHashBatch = "/safebrowsing/gethash/batch"
 )
 
 // Handler exposes the server over HTTP. Requests and responses use the
@@ -56,6 +57,34 @@ func Handler(s *Server) http.Handler {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		if err := resp.Encode(w); err != nil {
 			log.Printf("sbserver: encode fullhash response: %v", err)
+		}
+	})
+	mux.HandleFunc(PathFullHashBatch, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		batch, err := wire.DecodeFullHashBatchRequest(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reqs := make([]*wire.FullHashRequest, len(batch.Requests))
+		for i := range batch.Requests {
+			reqs[i] = &batch.Requests[i]
+		}
+		resps, err := s.FullHashesBatch(reqs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out := wire.FullHashBatchResponse{Responses: make([]wire.FullHashResponse, len(resps))}
+		for i, resp := range resps {
+			out.Responses[i] = *resp
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := out.Encode(w); err != nil {
+			log.Printf("sbserver: encode fullhash batch response: %v", err)
 		}
 	})
 	return mux

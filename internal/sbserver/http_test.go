@@ -29,7 +29,7 @@ func httpFixture(t *testing.T) (*Server, *httptest.Server) {
 func TestHandlerRejectsGET(t *testing.T) {
 	t.Parallel()
 	_, ts := httpFixture(t)
-	for _, path := range []string{PathDownloads, PathFullHash} {
+	for _, path := range []string{PathDownloads, PathFullHash, PathFullHashBatch} {
 		resp, err := ts.Client().Get(ts.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -44,7 +44,7 @@ func TestHandlerRejectsGET(t *testing.T) {
 func TestHandlerRejectsGarbageBody(t *testing.T) {
 	t.Parallel()
 	_, ts := httpFixture(t)
-	for _, path := range []string{PathDownloads, PathFullHash} {
+	for _, path := range []string{PathDownloads, PathFullHash, PathFullHashBatch} {
 		resp, err := ts.Client().Post(ts.URL+path, "application/octet-stream",
 			strings.NewReader("not the protocol"))
 		if err != nil {
@@ -121,6 +121,45 @@ func TestHandlerServesBinaryResponses(t *testing.T) {
 	}
 	probes := s.Probes()
 	if len(probes) != 1 || probes[0].ClientID != "http-cookie" {
+		t.Errorf("probes = %+v", probes)
+	}
+}
+
+// TestHandlerBatchFullHash drives the batch endpoint end to end: several
+// full-hash requests in one POST, one response per request, one probe
+// per request in the provider's log.
+func TestHandlerBatchFullHash(t *testing.T) {
+	t.Parallel()
+	s, ts := httpFixture(t)
+	batch := wire.FullHashBatchRequest{Requests: []wire.FullHashRequest{
+		{ClientID: "alpha", Prefixes: []hashx.Prefix{hashx.SumPrefix("evil.example/")}},
+		{ClientID: "beta", Prefixes: []hashx.Prefix{0x01020304}}, // miss
+	}}
+	var body bytes.Buffer
+	if err := batch.Encode(&body); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	resp, err := ts.Client().Post(ts.URL+PathFullHashBatch, "application/octet-stream", &body)
+	if err != nil {
+		t.Fatalf("POST batch: %v", err)
+	}
+	decoded, err := wire.DecodeFullHashBatchResponse(resp.Body)
+	resp.Body.Close() //nolint:errcheck // test
+	if err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+	if len(decoded.Responses) != 2 {
+		t.Fatalf("responses = %d, want 2", len(decoded.Responses))
+	}
+	if len(decoded.Responses[0].Entries) != 1 ||
+		decoded.Responses[0].Entries[0].Digest != hashx.Sum("evil.example/") {
+		t.Errorf("responses[0] = %+v", decoded.Responses[0])
+	}
+	if len(decoded.Responses[1].Entries) != 0 {
+		t.Errorf("responses[1] = %+v, want miss", decoded.Responses[1])
+	}
+	probes := s.Probes()
+	if len(probes) != 2 || probes[0].ClientID != "alpha" || probes[1].ClientID != "beta" {
 		t.Errorf("probes = %+v", probes)
 	}
 }

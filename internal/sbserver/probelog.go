@@ -1,0 +1,289 @@
+package sbserver
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// OverflowPolicy decides what happens when probes arrive faster than the
+// pipeline drains them and the buffer is full.
+type OverflowPolicy int
+
+const (
+	// OverflowBlock applies backpressure: FullHashes waits for buffer
+	// space. No probe is ever lost; the request path slows down instead.
+	// This is the default — the threat model's provider wants every probe.
+	OverflowBlock OverflowPolicy = iota
+	// OverflowDrop sheds load: when the buffer is full the probe is
+	// counted in ProbeStats.Dropped and discarded, and the request is
+	// served at full speed. The trade the paper's provider would never
+	// make, but a capacity-constrained deployment might.
+	OverflowDrop
+)
+
+// ProbeStats reports the probe pipeline's counters.
+type ProbeStats struct {
+	// Received counts probes presented to the pipeline.
+	Received uint64
+	// Dropped counts probes discarded under OverflowDrop.
+	Dropped uint64
+	// Evicted counts probes rotated out of a capacity-bounded log.
+	// Evicted probes were still delivered to sinks.
+	Evicted uint64
+}
+
+// maxProbeStripes caps the drainer goroutines per server.
+const maxProbeStripes = 16
+
+// probeMsg is one unit on a stripe channel: either a sequenced probe or
+// a flush barrier (flush != nil). sinks is the sink list captured at
+// record time, so a sink subscribed after a request never observes it —
+// Subscribe is a cut-point, as it was when delivery was synchronous.
+type probeMsg struct {
+	seq   uint64
+	probe Probe
+	sinks []ProbeSink
+	flush chan struct{}
+}
+
+// seqProbe is a logged probe tagged with its global record order.
+type seqProbe struct {
+	seq   uint64
+	probe Probe
+}
+
+// probeStripe is one independently drained lane of the pipeline with its
+// own log segment. The log is written only by the stripe's drainer (or
+// by record() after close), so the mutex is effectively uncontended on
+// the hot path; snapshot() takes it briefly to copy.
+type probeStripe struct {
+	ch   chan probeMsg
+	done chan struct{}
+
+	mu      sync.Mutex
+	log     []seqProbe
+	start   int // ring head when the segment is at capacity
+	evicted uint64
+}
+
+// append adds a probe to the stripe's log segment, rotating when the
+// per-stripe capacity (the pipeline's logCap) is reached.
+func (st *probeStripe) append(sp seqProbe, logCap int) {
+	st.mu.Lock()
+	if logCap > 0 && len(st.log) == logCap {
+		st.log[st.start] = sp
+		st.start = (st.start + 1) % logCap
+		st.evicted++
+	} else {
+		st.log = append(st.log, sp)
+	}
+	st.mu.Unlock()
+}
+
+// probePipeline decouples probe recording from the full-hash serving
+// path: FullHashes enqueues on a bounded channel and returns; background
+// goroutines drain, append to the (optionally rotating) log and fan out
+// to subscribed sinks. The serving path therefore never blocks on a slow
+// sink, and no log mutex is ever contended by request handlers.
+//
+// The pipeline is striped by client cookie so a fleet of clients doesn't
+// serialize on one channel: probes from the same client stay FIFO (the
+// ordering the tracking and correlation machinery depends on), while
+// different clients ride different lanes. A global sequence number
+// assigned at record time lets snapshot() restore the exact record
+// order across lanes.
+type probePipeline struct {
+	stripes []probeStripe
+	policy  OverflowPolicy
+	logCap  int // per-stripe log bound; 0 = unbounded
+
+	// seq doubles as the received counter: it is incremented once per
+	// recorded probe.
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+
+	// sinks is a copy-on-write slice loaded lock-free on delivery.
+	sinks  atomic.Pointer[[]ProbeSink]
+	sinkMu sync.Mutex // serializes Subscribe writers
+
+	stateMu sync.RWMutex
+	closed  bool
+}
+
+func newProbePipeline(buffer, logCap int, policy OverflowPolicy) *probePipeline {
+	nstripes := runtime.GOMAXPROCS(0)
+	if nstripes > maxProbeStripes {
+		nstripes = maxProbeStripes
+	}
+	if nstripes < 1 {
+		nstripes = 1
+	}
+	perStripe := buffer / nstripes
+	if perStripe < 1 {
+		perStripe = 1
+	}
+	p := &probePipeline{
+		stripes: make([]probeStripe, nstripes),
+		policy:  policy,
+		logCap:  logCap,
+	}
+	for i := range p.stripes {
+		p.stripes[i].ch = make(chan probeMsg, perStripe)
+		p.stripes[i].done = make(chan struct{})
+		go p.run(&p.stripes[i])
+	}
+	return p
+}
+
+// stripeFor maps a client cookie to its lane (FNV-1a).
+func (p *probePipeline) stripeFor(clientID string) *probeStripe {
+	if len(p.stripes) == 1 {
+		return &p.stripes[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(clientID); i++ {
+		h = (h ^ uint32(clientID[i])) * 16777619
+	}
+	return &p.stripes[h%uint32(len(p.stripes))]
+}
+
+func (p *probePipeline) run(st *probeStripe) {
+	defer close(st.done)
+	for msg := range st.ch {
+		if msg.flush != nil {
+			close(msg.flush)
+			continue
+		}
+		p.deliver(st, seqProbe{seq: msg.seq, probe: msg.probe}, msg.sinks)
+	}
+}
+
+// deliver appends to the stripe's log segment and fans out to the sinks
+// captured when the probe was recorded.
+func (p *probePipeline) deliver(st *probeStripe, sp seqProbe, sinks []ProbeSink) {
+	st.append(sp, p.logCap)
+	for _, sink := range sinks {
+		sink.Observe(sp.probe)
+	}
+}
+
+// record hands a probe to the pipeline. Under OverflowBlock it waits for
+// buffer space; under OverflowDrop a full buffer discards the probe.
+// After close it falls back to synchronous delivery so a drained server
+// still observes everything.
+func (p *probePipeline) record(probe Probe) {
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
+	sp := seqProbe{seq: p.seq.Add(1), probe: probe}
+	st := p.stripeFor(probe.ClientID)
+	var sinks []ProbeSink
+	if sp2 := p.sinks.Load(); sp2 != nil {
+		sinks = *sp2
+	}
+	if p.closed {
+		p.deliver(st, sp, sinks)
+		return
+	}
+	msg := probeMsg{seq: sp.seq, probe: probe, sinks: sinks}
+	if p.policy == OverflowDrop {
+		select {
+		case st.ch <- msg:
+		default:
+			p.dropped.Add(1)
+		}
+		return
+	}
+	st.ch <- msg
+}
+
+// flush blocks until every probe recorded before the call has been
+// delivered to the log and all sinks.
+func (p *probePipeline) flush() {
+	p.stateMu.RLock()
+	if p.closed {
+		p.stateMu.RUnlock()
+		return
+	}
+	barriers := make([]chan struct{}, len(p.stripes))
+	for i := range p.stripes {
+		barriers[i] = make(chan struct{})
+		p.stripes[i].ch <- probeMsg{flush: barriers[i]}
+	}
+	p.stateMu.RUnlock()
+	for _, b := range barriers {
+		<-b
+	}
+}
+
+// close stops the drainers after they finish everything already
+// enqueued. When wait is true, close returns only once the drain is
+// complete — the flush-on-Close guarantee.
+func (p *probePipeline) close(wait bool) {
+	p.stateMu.Lock()
+	already := p.closed
+	p.closed = true
+	if !already {
+		for i := range p.stripes {
+			close(p.stripes[i].ch)
+		}
+	}
+	p.stateMu.Unlock()
+	if wait {
+		for i := range p.stripes {
+			<-p.stripes[i].done
+		}
+	}
+}
+
+// snapshot returns the logged probes in record order (by sequence
+// number). With a bounded log each stripe retains up to the bound, and
+// the merged result is trimmed to the newest logCap probes overall, so
+// the window is exact in record order.
+func (p *probePipeline) snapshot() []Probe {
+	var ordered []seqProbe
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.mu.Lock()
+		ordered = append(ordered, st.log[st.start:]...)
+		ordered = append(ordered, st.log[:st.start]...)
+		st.mu.Unlock()
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+	if p.logCap > 0 && len(ordered) > p.logCap {
+		ordered = ordered[len(ordered)-p.logCap:]
+	}
+	out := make([]Probe, len(ordered))
+	for i, sp := range ordered {
+		out[i] = sp.probe
+	}
+	return out
+}
+
+func (p *probePipeline) subscribe(sink ProbeSink) {
+	p.sinkMu.Lock()
+	defer p.sinkMu.Unlock()
+	var cur []ProbeSink
+	if old := p.sinks.Load(); old != nil {
+		cur = *old
+	}
+	next := make([]ProbeSink, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, sink)
+	p.sinks.Store(&next)
+}
+
+func (p *probePipeline) stats() ProbeStats {
+	var evicted uint64
+	for i := range p.stripes {
+		p.stripes[i].mu.Lock()
+		evicted += p.stripes[i].evicted
+		p.stripes[i].mu.Unlock()
+	}
+	return ProbeStats{
+		Received: p.seq.Load(),
+		Dropped:  p.dropped.Load(),
+		Evicted:  evicted,
+	}
+}

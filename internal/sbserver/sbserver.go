@@ -7,11 +7,21 @@
 // An honest-but-curious or malicious provider sees exactly this log:
 // (cookie, prefixes, timestamp) triples. The re-identification and
 // tracking machinery of internal/core consumes it.
+//
+// The server is built for fleet-scale concurrent traffic: the serving
+// path reads a lock-striped prefix index (one stripe per low-bit slice
+// of the prefix space), list mutations take only the owning list's lock,
+// and probe recording goes through an asynchronous bounded pipeline, so
+// full-hash requests on different prefixes never serialize. Probe
+// delivery to sinks and the probe log is therefore asynchronous; call
+// Flush (or Close) before reading sink state, and note that Probes
+// flushes internally.
 package sbserver
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -27,6 +37,9 @@ const (
 	DefaultCacheSeconds   = 300  // full-hash cache lifetime
 )
 
+// DefaultProbeBuffer is the default capacity of the probe pipeline.
+const DefaultProbeBuffer = 1024
+
 // ErrUnknownList reports a request against a list the server doesn't serve.
 var ErrUnknownList = errors.New("sbserver: unknown list")
 
@@ -38,32 +51,43 @@ type Probe struct {
 }
 
 // ProbeSink receives a copy of every probe. Implementations must be safe
-// for concurrent use.
+// for concurrent use. Observe is called from the probe pipeline's
+// drainer goroutine, not from the request path.
 type ProbeSink interface {
 	Observe(p Probe)
 }
 
-// list is the server-side state of one blacklist.
+// list is the server-side state of one blacklist. Each list carries its
+// own lock, so updates to different lists proceed in parallel.
 type list struct {
+	mu          sync.RWMutex
 	name        string
 	description string
+	rank        uint32 // creation rank; orders FullHashes entries
 	chunks      []wire.Chunk
 	nextChunk   uint32
 	// byPrefix maps each live prefix to the full digests sharing it.
-	// Orphan prefixes (paper Section 7.2) map to an empty slice.
+	// Orphan prefixes (paper Section 7.2) map to an empty slice. This is
+	// the list-management view; the serving path reads the striped index.
 	byPrefix map[hashx.Prefix][]hashx.Digest
 }
 
 // Server is an in-memory Safe Browsing provider. Safe for concurrent use.
 type Server struct {
-	mu             sync.RWMutex
-	lists          map[string]*list
-	listOrder      []string
-	probes         []Probe
-	sinks          []ProbeSink
+	listsMu   sync.RWMutex
+	lists     map[string]*list
+	listOrder []string
+
+	idx    *stripedIndex
+	probes *probePipeline
+
 	minWaitSeconds uint32
 	cacheSeconds   uint32
 	now            func() time.Time
+
+	probeBuffer int
+	probeLogCap int
+	probePolicy OverflowPolicy
 }
 
 // Option configures a Server.
@@ -84,30 +108,86 @@ func WithClock(now func() time.Time) Option {
 	return func(s *Server) { s.now = now }
 }
 
-// New creates an empty server.
+// WithProbeBuffer sets the total capacity of the async probe pipeline,
+// divided across its client-striped lanes.
+func WithProbeBuffer(n int) Option {
+	return func(s *Server) { s.probeBuffer = n }
+}
+
+// WithProbeLogLimit bounds the probe log: Probes() returns at most the
+// n most recent probes (a rotating log). Zero keeps every probe, the
+// seed behaviour. Sinks still observe every probe regardless of the
+// limit. Memory note: the pipeline retains up to n probes per
+// client-stripe internally (at most 16 stripes), so worst-case
+// residency is 16n; size n from that bound when capping memory.
+func WithProbeLogLimit(n int) Option {
+	return func(s *Server) { s.probeLogCap = n }
+}
+
+// WithProbeOverflow selects the pipeline's full-buffer policy:
+// backpressure (OverflowBlock, default) or load-shedding (OverflowDrop).
+func WithProbeOverflow(policy OverflowPolicy) Option {
+	return func(s *Server) { s.probePolicy = policy }
+}
+
+// New creates an empty server and starts its probe pipeline.
 func New(opts ...Option) *Server {
 	s := &Server{
 		lists:          make(map[string]*list),
+		idx:            newStripedIndex(),
 		minWaitSeconds: DefaultMinWaitSeconds,
 		cacheSeconds:   DefaultCacheSeconds,
 		now:            time.Now,
+		probeBuffer:    DefaultProbeBuffer,
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.probes = newProbePipeline(s.probeBuffer, s.probeLogCap, s.probePolicy)
+	// The drainer goroutine references only the pipeline, so an
+	// abandoned Server is collectible; stop its drainer when that
+	// happens so servers discarded without Close don't leak goroutines.
+	runtime.SetFinalizer(s, func(srv *Server) { srv.probes.close(false) })
 	return s
+}
+
+// Close flushes and stops the probe pipeline: every probe recorded
+// before Close was called is delivered to the log and all sinks by the
+// time it returns. The server still serves requests afterwards; probes
+// recorded after Close are delivered synchronously.
+func (s *Server) Close() error {
+	s.probes.close(true)
+	return nil
+}
+
+// Flush blocks until every probe recorded so far has reached the probe
+// log and all subscribed sinks. Call it before inspecting sink state.
+func (s *Server) Flush() {
+	s.probes.flush()
+}
+
+// getList resolves a list name under the registry read lock.
+func (s *Server) getList(name string) (*list, error) {
+	s.listsMu.RLock()
+	l, ok := s.lists[name]
+	s.listsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownList, name)
+	}
+	return l, nil
 }
 
 // CreateList registers a new empty blacklist.
 func (s *Server) CreateList(name, description string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.listsMu.Lock()
+	defer s.listsMu.Unlock()
 	if _, dup := s.lists[name]; dup {
 		return fmt.Errorf("sbserver: list %q already exists", name)
 	}
 	s.lists[name] = &list{
 		name:        name,
 		description: description,
+		rank:        uint32(len(s.listOrder)),
 		nextChunk:   1,
 		byPrefix:    make(map[hashx.Prefix][]hashx.Digest),
 	}
@@ -117,8 +197,8 @@ func (s *Server) CreateList(name, description string) error {
 
 // ListNames returns the registered list names in creation order.
 func (s *Server) ListNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.listsMu.RLock()
+	defer s.listsMu.RUnlock()
 	out := make([]string, len(s.listOrder))
 	copy(out, s.listOrder)
 	return out
@@ -126,23 +206,21 @@ func (s *Server) ListNames() []string {
 
 // ListDescription returns the human description of a list.
 func (s *Server) ListDescription(name string) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	l, ok := s.lists[name]
-	if !ok {
-		return "", fmt.Errorf("%w: %q", ErrUnknownList, name)
+	l, err := s.getList(name)
+	if err != nil {
+		return "", err
 	}
 	return l.description, nil
 }
 
 // ListLen returns the number of live prefixes in a list.
 func (s *Server) ListLen(name string) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	l, ok := s.lists[name]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownList, name)
+	l, err := s.getList(name)
+	if err != nil {
+		return 0, err
 	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return len(l.byPrefix), nil
 }
 
@@ -160,22 +238,34 @@ func (s *Server) AddExpressions(listName string, expressions []string) error {
 
 // AddURL canonicalizes a URL and blacklists its exact canonical form.
 func (s *Server) AddURL(listName, rawURL string) error {
-	c, err := urlx.Canonicalize(rawURL)
-	if err != nil {
-		return err
+	return s.AddURLs(listName, []string{rawURL})
+}
+
+// AddURLs canonicalizes a batch of URLs and blacklists their exact
+// canonical forms in one add chunk, amortizing lock acquisitions over
+// the whole batch. The canonicalization (the expensive part) runs
+// before any lock is taken.
+func (s *Server) AddURLs(listName string, rawURLs []string) error {
+	expressions := make([]string, len(rawURLs))
+	for i, raw := range rawURLs {
+		c, err := urlx.Canonicalize(raw)
+		if err != nil {
+			return err
+		}
+		expressions[i] = c.String()
 	}
-	return s.AddExpressions(listName, []string{c.String()})
+	return s.AddExpressions(listName, expressions)
 }
 
 // AddDigests blacklists full digests directly (used when importing an
 // existing digest database).
 func (s *Server) AddDigests(listName string, digests []hashx.Digest) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.lists[listName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	l, err := s.getList(listName)
+	if err != nil {
+		return err
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var newPrefixes []hashx.Prefix
 	for _, d := range digests {
 		p := d.Prefix()
@@ -193,6 +283,7 @@ func (s *Server) AddDigests(listName string, digests []hashx.Digest) error {
 			newPrefixes = append(newPrefixes, p)
 		}
 		l.byPrefix[p] = append(l.byPrefix[p], d)
+		s.idx.add(p, indexEntry{rank: l.rank, list: l.name, digest: d})
 	}
 	if len(newPrefixes) > 0 {
 		l.appendChunk(wire.ChunkAdd, newPrefixes)
@@ -205,12 +296,12 @@ func (s *Server) AddDigests(listName string, digests []hashx.Digest) error {
 // server, but the full-hash response can never match: they are pure
 // tracking probes (or inconsistencies).
 func (s *Server) AddOrphanPrefixes(listName string, prefixes []hashx.Prefix) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.lists[listName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	l, err := s.getList(listName)
+	if err != nil {
+		return err
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var added []hashx.Prefix
 	for _, p := range prefixes {
 		if _, live := l.byPrefix[p]; live {
@@ -236,12 +327,12 @@ func (s *Server) AddPrefixes(listName string, expressions []string) error {
 // RemoveExpressions removes expressions; prefixes whose digest set
 // becomes empty are retired with a sub chunk.
 func (s *Server) RemoveExpressions(listName string, expressions []string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.lists[listName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	l, err := s.getList(listName)
+	if err != nil {
+		return err
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var gone []hashx.Prefix
 	for _, e := range expressions {
 		d := hashx.Sum(e)
@@ -254,6 +345,8 @@ func (s *Server) RemoveExpressions(listName string, expressions []string) error 
 		for _, existing := range ds {
 			if existing != d {
 				kept = append(kept, existing)
+			} else {
+				s.idx.remove(p, l.rank, d)
 			}
 		}
 		if len(kept) == 0 {
@@ -269,6 +362,7 @@ func (s *Server) RemoveExpressions(listName string, expressions []string) error 
 	return nil
 }
 
+// appendChunk records a new chunk; the caller holds l.mu.
 func (l *list) appendChunk(typ wire.ChunkType, prefixes []hashx.Prefix) {
 	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
 	l.chunks = append(l.chunks, wire.Chunk{
@@ -283,19 +377,19 @@ func (l *list) appendChunk(typ wire.ChunkType, prefixes []hashx.Prefix) {
 // Download serves an incremental update: all chunks newer than the
 // client's recorded state, for each requested list.
 func (s *Server) Download(req *wire.DownloadRequest) (*wire.DownloadResponse, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	resp := &wire.DownloadResponse{MinWaitSeconds: s.minWaitSeconds}
 	for _, st := range req.States {
-		l, ok := s.lists[st.List]
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownList, st.List)
+		l, err := s.getList(st.List)
+		if err != nil {
+			return nil, err
 		}
+		l.mu.RLock()
 		for _, c := range l.chunks {
 			if c.Num > st.LastChunk {
 				resp.Chunks = append(resp.Chunks, c)
 			}
 		}
+		l.mu.RUnlock()
 	}
 	return resp, nil
 }
@@ -303,64 +397,80 @@ func (s *Server) Download(req *wire.DownloadRequest) (*wire.DownloadResponse, er
 // FullHashes serves a full-hash request and records the probe. This is
 // the moment information leaks from client to provider: the prefixes in
 // req are a function of the URL the client is visiting.
+//
+// The lookup reads one striped-index shard per prefix, so requests for
+// different prefixes proceed fully in parallel; the probe is handed to
+// the async pipeline rather than appended under a write lock.
 func (s *Server) FullHashes(req *wire.FullHashRequest) (*wire.FullHashResponse, error) {
-	s.mu.Lock()
-	probe := Probe{
+	s.probes.record(Probe{
 		Time:     s.now(),
 		ClientID: req.ClientID,
 		Prefixes: append([]hashx.Prefix(nil), req.Prefixes...),
+	})
+	resp := &wire.FullHashResponse{
+		CacheSeconds: s.cacheSeconds,
+		Entries:      make([]wire.FullHashEntry, 0, len(req.Prefixes)),
 	}
-	s.probes = append(s.probes, probe)
-	sinks := append([]ProbeSink(nil), s.sinks...)
-	s.mu.Unlock()
-
-	for _, sink := range sinks {
-		sink.Observe(probe)
-	}
-
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	resp := &wire.FullHashResponse{CacheSeconds: s.cacheSeconds}
 	for _, p := range req.Prefixes {
-		for _, name := range s.listOrder {
-			for _, d := range s.lists[name].byPrefix[p] {
-				resp.Entries = append(resp.Entries, wire.FullHashEntry{List: name, Digest: d})
-			}
-		}
+		resp.Entries = s.idx.lookup(p, resp.Entries)
+	}
+	if len(resp.Entries) == 0 {
+		resp.Entries = nil
 	}
 	return resp, nil
 }
 
-// Subscribe registers a probe sink; every subsequent full-hash request is
-// forwarded to it.
-func (s *Server) Subscribe(sink ProbeSink) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sinks = append(s.sinks, sink)
+// FullHashesBatch serves several full-hash requests in one call,
+// recording one probe per request — the provider's view is identical to
+// the requests arriving back to back. Batching amortizes per-call
+// overhead for high-volume callers (audits, load generators, the batch
+// HTTP endpoint).
+func (s *Server) FullHashesBatch(reqs []*wire.FullHashRequest) ([]*wire.FullHashResponse, error) {
+	resps := make([]*wire.FullHashResponse, len(reqs))
+	for i, req := range reqs {
+		resp, err := s.FullHashes(req)
+		if err != nil {
+			return nil, err
+		}
+		resps[i] = resp
+	}
+	return resps, nil
 }
 
-// Probes returns a copy of the probe log.
+// Subscribe registers a probe sink; every subsequent full-hash request is
+// forwarded to it from the probe pipeline. Call Flush before reading
+// sink state to synchronize with in-flight probes.
+func (s *Server) Subscribe(sink ProbeSink) {
+	s.probes.subscribe(sink)
+}
+
+// Probes returns a copy of the probe log. It flushes the pipeline first,
+// so every probe recorded before the call is included (minus any rotated
+// out by WithProbeLogLimit or shed under OverflowDrop).
 func (s *Server) Probes() []Probe {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Probe, len(s.probes))
-	copy(out, s.probes)
-	return out
+	s.probes.flush()
+	return s.probes.snapshot()
+}
+
+// ProbeStats reports the probe pipeline's received/dropped/evicted
+// counters.
+func (s *Server) ProbeStats() ProbeStats {
+	return s.probes.stats()
 }
 
 // PrefixesOf returns the sorted live prefixes of a list (the view a fresh
 // client downloads).
 func (s *Server) PrefixesOf(listName string) ([]hashx.Prefix, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	l, ok := s.lists[listName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	l, err := s.getList(listName)
+	if err != nil {
+		return nil, err
 	}
+	l.mu.RLock()
 	out := make([]hashx.Prefix, 0, len(l.byPrefix))
 	for p := range l.byPrefix {
 		out = append(out, p)
 	}
+	l.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
@@ -368,12 +478,12 @@ func (s *Server) PrefixesOf(listName string) ([]hashx.Prefix, error) {
 // DigestsOf returns the full digests recorded for a prefix in a list.
 // Orphan prefixes return (nil, true).
 func (s *Server) DigestsOf(listName string, p hashx.Prefix) ([]hashx.Digest, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	l, ok := s.lists[listName]
-	if !ok {
-		return nil, false, fmt.Errorf("%w: %q", ErrUnknownList, listName)
+	l, err := s.getList(listName)
+	if err != nil {
+		return nil, false, err
 	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	ds, live := l.byPrefix[p]
 	if !live {
 		return nil, false, nil

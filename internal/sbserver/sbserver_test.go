@@ -284,6 +284,7 @@ func TestSubscribe(t *testing.T) {
 	if _, err := s.FullHashes(&wire.FullHashRequest{ClientID: "c9", Prefixes: []hashx.Prefix{42}}); err != nil {
 		t.Fatalf("FullHashes: %v", err)
 	}
+	s.Flush() // sink delivery is async; synchronize before reading
 	sink.mu.Lock()
 	defer sink.mu.Unlock()
 	if len(sink.probes) != 1 || sink.probes[0].ClientID != "c9" {

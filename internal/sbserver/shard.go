@@ -1,0 +1,101 @@
+package sbserver
+
+import (
+	"sync"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/wire"
+)
+
+// numShards is the stripe count of the serving index. A power of two so
+// shard selection is a mask of the prefix's low bits; SHA-256 prefixes
+// are uniform, so the stripes load-balance for free.
+const numShards = 128
+
+// indexEntry is one full digest served for a prefix, tagged with the
+// owning list. rank is the list's creation rank: entries for a prefix
+// are kept grouped by ascending rank so FullHashes emits matches in
+// list-creation order, exactly like the single-map implementation did.
+type indexEntry struct {
+	rank   uint32
+	list   string
+	digest hashx.Digest
+}
+
+// indexShard is one stripe: an independently locked slice of the global
+// prefix -> digests mapping.
+type indexShard struct {
+	mu sync.RWMutex
+	m  map[hashx.Prefix][]indexEntry
+}
+
+// stripedIndex is the serving-path index of the provider database. It is
+// keyed by prefix across all lists, so a full-hash lookup touches exactly
+// one shard per requested prefix and lookups on different prefixes never
+// contend. List-management state (chunks, per-list prefix sets) lives on
+// the per-list structs; this index only answers "which digests match this
+// prefix, and in which lists".
+type stripedIndex struct {
+	shards [numShards]indexShard
+}
+
+func newStripedIndex() *stripedIndex {
+	x := &stripedIndex{}
+	for i := range x.shards {
+		x.shards[i].m = make(map[hashx.Prefix][]indexEntry)
+	}
+	return x
+}
+
+func (x *stripedIndex) shard(p hashx.Prefix) *indexShard {
+	return &x.shards[uint32(p)&(numShards-1)]
+}
+
+// add inserts an entry for p, keeping the per-prefix slice grouped by
+// ascending list rank (insertion order within a list is preserved).
+func (x *stripedIndex) add(p hashx.Prefix, e indexEntry) {
+	sh := x.shard(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	entries := sh.m[p]
+	i := len(entries)
+	for i > 0 && entries[i-1].rank > e.rank {
+		i--
+	}
+	entries = append(entries, indexEntry{})
+	copy(entries[i+1:], entries[i:])
+	entries[i] = e
+	sh.m[p] = entries
+}
+
+// remove deletes the entry for (rank, digest) under p, if present.
+func (x *stripedIndex) remove(p hashx.Prefix, rank uint32, d hashx.Digest) {
+	sh := x.shard(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	entries := sh.m[p]
+	for i, e := range entries {
+		if e.rank == rank && e.digest == d {
+			entries = append(entries[:i], entries[i+1:]...)
+			break
+		}
+	}
+	if len(entries) == 0 {
+		delete(sh.m, p)
+	} else {
+		sh.m[p] = entries
+	}
+}
+
+// lookup appends the full-hash entries matching p to dst and returns the
+// extended slice. Orphan prefixes have no index entries and append
+// nothing — the client hears only silence for them.
+func (x *stripedIndex) lookup(p hashx.Prefix, dst []wire.FullHashEntry) []wire.FullHashEntry {
+	sh := x.shard(p)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, e := range sh.m[p] {
+		dst = append(dst, wire.FullHashEntry{List: e.list, Digest: e.digest})
+	}
+	return dst
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"sbprivacy/internal/hashx"
+)
+
+func TestFullHashBatchRequestRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := &FullHashBatchRequest{Requests: []FullHashRequest{
+		{ClientID: "c1", Prefixes: []hashx.Prefix{0xe70ee6d1, 0x33a02ef5}},
+		{ClientID: "c2"},
+		{ClientID: "c3", Prefixes: []hashx.Prefix{1}},
+	}}
+	var buf bytes.Buffer
+	if err := in.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := DecodeFullHashBatchRequest(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(out.Requests) != 3 {
+		t.Fatalf("requests = %d", len(out.Requests))
+	}
+	for i, req := range out.Requests {
+		if req.ClientID != in.Requests[i].ClientID {
+			t.Errorf("req[%d].ClientID = %q", i, req.ClientID)
+		}
+		if len(req.Prefixes) != len(in.Requests[i].Prefixes) {
+			t.Errorf("req[%d].Prefixes = %v", i, req.Prefixes)
+			continue
+		}
+		for j, p := range req.Prefixes {
+			if p != in.Requests[i].Prefixes[j] {
+				t.Errorf("req[%d].Prefixes[%d] = %v", i, j, p)
+			}
+		}
+	}
+}
+
+func TestFullHashBatchResponseRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := &FullHashBatchResponse{Responses: []FullHashResponse{
+		{CacheSeconds: 300, Entries: []FullHashEntry{
+			{List: "goog-malware-shavar", Digest: hashx.Sum("a.example/")},
+			{List: "goog-phish-shavar", Digest: hashx.Sum("b.example/")},
+		}},
+		{CacheSeconds: 0},
+	}}
+	var buf bytes.Buffer
+	if err := in.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := DecodeFullHashBatchResponse(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(out.Responses) != 2 {
+		t.Fatalf("responses = %d", len(out.Responses))
+	}
+	if out.Responses[0].CacheSeconds != 300 || len(out.Responses[0].Entries) != 2 {
+		t.Errorf("responses[0] = %+v", out.Responses[0])
+	}
+	if out.Responses[0].Entries[1].Digest != hashx.Sum("b.example/") {
+		t.Error("entry digest mismatch")
+	}
+	if len(out.Responses[1].Entries) != 0 {
+		t.Errorf("responses[1] = %+v", out.Responses[1])
+	}
+}
+
+func TestFullHashBatchRejectsOversizedCount(t *testing.T) {
+	t.Parallel()
+	// The encoder refuses to emit a frame the peer would reject.
+	in := &FullHashBatchRequest{Requests: make([]FullHashRequest, MaxBatchRequests+1)}
+	var buf bytes.Buffer
+	if err := in.Encode(&buf); err == nil {
+		t.Error("oversized batch encoded without error")
+	}
+	out := &FullHashBatchResponse{Responses: make([]FullHashResponse, MaxBatchRequests+1)}
+	if err := out.Encode(&buf); err == nil {
+		t.Error("oversized batch response encoded without error")
+	}
+	// The decoder still rejects an oversized frame from a non-conforming
+	// peer: hand-craft header + count.
+	buf.Reset()
+	buf.Write([]byte{Magic, Version, byte(MsgFullHashBatchRequest)})
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], MaxBatchRequests+1)
+	buf.Write(tmp[:n])
+	if _, err := DecodeFullHashBatchRequest(&buf); err == nil {
+		t.Error("oversized batch decoded without error")
+	}
+}
+
+func TestFullHashBatchRejectsWrongType(t *testing.T) {
+	t.Parallel()
+	req := &FullHashRequest{ClientID: "c"}
+	var buf bytes.Buffer
+	if err := req.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := DecodeFullHashBatchRequest(&buf); err == nil {
+		t.Error("single-request message decoded as batch")
+	}
+	if _, err := DecodeFullHashBatchRequest(strings.NewReader("junk")); err == nil {
+		t.Error("garbage decoded as batch")
+	}
+}

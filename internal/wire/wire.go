@@ -33,6 +33,8 @@ const (
 	MsgDownloadResponse
 	MsgFullHashRequest
 	MsgFullHashResponse
+	MsgFullHashBatchRequest
+	MsgFullHashBatchResponse
 )
 
 // ChunkType distinguishes additions from removals.
@@ -54,6 +56,11 @@ const (
 	maxPrefixesPerReq   = 256
 	maxFullHashEntries  = 4096
 )
+
+// MaxBatchRequests is the largest number of full-hash requests one
+// batch message may carry. Callers with more requests must send several
+// frames (HTTPTransport.FullHashesBatch chunks automatically).
+const MaxBatchRequests = 64
 
 // Errors returned by decoders.
 var (
@@ -109,6 +116,19 @@ type FullHashEntry struct {
 type FullHashResponse struct {
 	CacheSeconds uint32
 	Entries      []FullHashEntry
+}
+
+// FullHashBatchRequest carries several full-hash requests in one round
+// trip, amortizing connection and framing overhead for high-volume
+// callers (audits, load generators, proxies multiplexing many clients).
+type FullHashBatchRequest struct {
+	Requests []FullHashRequest
+}
+
+// FullHashBatchResponse carries one response per batched request, in
+// request order.
+type FullHashBatchResponse struct {
+	Responses []FullHashResponse
 }
 
 type writer struct {
@@ -310,15 +330,39 @@ func DecodeDownloadResponse(r io.Reader) (*DownloadResponse, error) {
 	return m, nil
 }
 
-// Encode writes the request to w.
-func (m *FullHashRequest) Encode(w io.Writer) error {
-	e := &writer{w: w}
-	e.header(MsgFullHashRequest)
+// fullHashRequestBody writes the header-less request fields.
+func (e *writer) fullHashRequestBody(m *FullHashRequest) {
 	e.str(m.ClientID)
 	e.uvarint(uint64(len(m.Prefixes)))
 	for _, p := range m.Prefixes {
 		e.prefix(p)
 	}
+}
+
+// fullHashRequestBody reads the header-less request fields into m.
+func (d *reader) fullHashRequestBody(m *FullHashRequest) error {
+	var err error
+	if m.ClientID, err = d.str("client id"); err != nil {
+		return err
+	}
+	n, err := d.uvarint(maxPrefixesPerReq, "prefix count")
+	if err != nil {
+		return err
+	}
+	m.Prefixes = make([]hashx.Prefix, n)
+	for i := range m.Prefixes {
+		if m.Prefixes[i], err = d.prefix(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode writes the request to w.
+func (m *FullHashRequest) Encode(w io.Writer) error {
+	e := &writer{w: w}
+	e.header(MsgFullHashRequest)
+	e.fullHashRequestBody(m)
 	return e.err
 }
 
@@ -329,33 +373,50 @@ func DecodeFullHashRequest(r io.Reader) (*FullHashRequest, error) {
 		return nil, err
 	}
 	m := &FullHashRequest{}
-	var err error
-	if m.ClientID, err = d.str("client id"); err != nil {
+	if err := d.fullHashRequestBody(m); err != nil {
 		return nil, err
-	}
-	n, err := d.uvarint(maxPrefixesPerReq, "prefix count")
-	if err != nil {
-		return nil, err
-	}
-	m.Prefixes = make([]hashx.Prefix, n)
-	for i := range m.Prefixes {
-		if m.Prefixes[i], err = d.prefix(); err != nil {
-			return nil, err
-		}
 	}
 	return m, nil
 }
 
-// Encode writes the response to w.
-func (m *FullHashResponse) Encode(w io.Writer) error {
-	e := &writer{w: w}
-	e.header(MsgFullHashResponse)
+// fullHashResponseBody writes the header-less response fields.
+func (e *writer) fullHashResponseBody(m *FullHashResponse) {
 	e.uvarint(uint64(m.CacheSeconds))
 	e.uvarint(uint64(len(m.Entries)))
 	for _, fh := range m.Entries {
 		e.str(fh.List)
 		e.bytes(fh.Digest[:])
 	}
+}
+
+// fullHashResponseBody reads the header-less response fields into m.
+func (d *reader) fullHashResponseBody(m *FullHashResponse) error {
+	cache, err := d.uvarint(1<<32-1, "cache seconds")
+	if err != nil {
+		return err
+	}
+	m.CacheSeconds = uint32(cache)
+	n, err := d.uvarint(maxFullHashEntries, "entry count")
+	if err != nil {
+		return err
+	}
+	m.Entries = make([]FullHashEntry, n)
+	for i := range m.Entries {
+		if m.Entries[i].List, err = d.str("list name"); err != nil {
+			return err
+		}
+		if m.Entries[i].Digest, err = d.digest(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode writes the response to w.
+func (m *FullHashResponse) Encode(w io.Writer) error {
+	e := &writer{w: w}
+	e.header(MsgFullHashResponse)
+	e.fullHashResponseBody(m)
 	return e.err
 }
 
@@ -366,21 +427,74 @@ func DecodeFullHashResponse(r io.Reader) (*FullHashResponse, error) {
 		return nil, err
 	}
 	m := &FullHashResponse{}
-	cache, err := d.uvarint(1<<32-1, "cache seconds")
+	if err := d.fullHashResponseBody(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode writes the batch request to w. Batches larger than
+// MaxBatchRequests are rejected here, where the caller can still react,
+// rather than by the peer's decoder.
+func (m *FullHashBatchRequest) Encode(w io.Writer) error {
+	if len(m.Requests) > MaxBatchRequests {
+		return fmt.Errorf("%w: batch request count = %d > %d", ErrTooLarge, len(m.Requests), MaxBatchRequests)
+	}
+	e := &writer{w: w}
+	e.header(MsgFullHashBatchRequest)
+	e.uvarint(uint64(len(m.Requests)))
+	for i := range m.Requests {
+		e.fullHashRequestBody(&m.Requests[i])
+	}
+	return e.err
+}
+
+// DecodeFullHashBatchRequest reads a FullHashBatchRequest from r.
+func DecodeFullHashBatchRequest(r io.Reader) (*FullHashBatchRequest, error) {
+	d := &reader{r: bufio.NewReader(r)}
+	if err := d.header(MsgFullHashBatchRequest); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint(MaxBatchRequests, "batch request count")
 	if err != nil {
 		return nil, err
 	}
-	m.CacheSeconds = uint32(cache)
-	n, err := d.uvarint(maxFullHashEntries, "entry count")
-	if err != nil {
-		return nil, err
-	}
-	m.Entries = make([]FullHashEntry, n)
-	for i := range m.Entries {
-		if m.Entries[i].List, err = d.str("list name"); err != nil {
+	m := &FullHashBatchRequest{Requests: make([]FullHashRequest, n)}
+	for i := range m.Requests {
+		if err := d.fullHashRequestBody(&m.Requests[i]); err != nil {
 			return nil, err
 		}
-		if m.Entries[i].Digest, err = d.digest(); err != nil {
+	}
+	return m, nil
+}
+
+// Encode writes the batch response to w.
+func (m *FullHashBatchResponse) Encode(w io.Writer) error {
+	if len(m.Responses) > MaxBatchRequests {
+		return fmt.Errorf("%w: batch response count = %d > %d", ErrTooLarge, len(m.Responses), MaxBatchRequests)
+	}
+	e := &writer{w: w}
+	e.header(MsgFullHashBatchResponse)
+	e.uvarint(uint64(len(m.Responses)))
+	for i := range m.Responses {
+		e.fullHashResponseBody(&m.Responses[i])
+	}
+	return e.err
+}
+
+// DecodeFullHashBatchResponse reads a FullHashBatchResponse from r.
+func DecodeFullHashBatchResponse(r io.Reader) (*FullHashBatchResponse, error) {
+	d := &reader{r: bufio.NewReader(r)}
+	if err := d.header(MsgFullHashBatchResponse); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint(MaxBatchRequests, "batch response count")
+	if err != nil {
+		return nil, err
+	}
+	m := &FullHashBatchResponse{Responses: make([]FullHashResponse, n)}
+	for i := range m.Responses {
+		if err := d.fullHashResponseBody(&m.Responses[i]); err != nil {
 			return nil, err
 		}
 	}

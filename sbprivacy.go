@@ -64,6 +64,11 @@ type (
 	Probe = sbserver.Probe
 	// ProbeSink consumes probes (the provider's observation point).
 	ProbeSink = sbserver.ProbeSink
+	// ProbeStats reports the probe pipeline's counters.
+	ProbeStats = sbserver.ProbeStats
+	// ProbeOverflowPolicy selects backpressure vs load-shedding when the
+	// probe pipeline's buffer fills.
+	ProbeOverflowPolicy = sbserver.OverflowPolicy
 	// Client is the Safe Browsing client of Figure 3.
 	Client = sbclient.Client
 	// Verdict is a lookup outcome, including what leaked.
@@ -147,6 +152,20 @@ var (
 	WithMinWait = sbserver.WithMinWait
 	// WithCacheLifetime sets the full-hash cache lifetime.
 	WithCacheLifetime = sbserver.WithCacheLifetime
+	// WithProbeBuffer sets the async probe pipeline's capacity.
+	WithProbeBuffer = sbserver.WithProbeBuffer
+	// WithProbeLogLimit bounds the probe log to the most recent n probes.
+	WithProbeLogLimit = sbserver.WithProbeLogLimit
+	// WithProbeOverflow selects the full-buffer policy for probes.
+	WithProbeOverflow = sbserver.WithProbeOverflow
+)
+
+// Probe overflow policies.
+const (
+	// ProbeOverflowBlock applies backpressure: no probe is lost.
+	ProbeOverflowBlock = sbserver.OverflowBlock
+	// ProbeOverflowDrop sheds probes when the pipeline is saturated.
+	ProbeOverflowDrop = sbserver.OverflowDrop
 )
 
 // Client constructors and options.
