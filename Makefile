@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench docs-check
 
 check: build vet race
+
+# docs-check is the documentation gate CI runs alongside check: go vet,
+# the godoc comment lint over the API-bearing packages, and a link check
+# on README.md and docs/*.md (see tools/doccheck).
+docs-check: vet
+	$(GO) run ./tools/doccheck
 
 build:
 	$(GO) build ./...

@@ -1,19 +1,39 @@
-// Command sbanalyze runs the paper's Section 7 blacklist audit against
-// the synthetic provider databases: orphan prefixes (Table 11), database
-// inversion (Table 10) and multi-prefix URLs (Table 12).
+// Command sbanalyze is the provider-side analysis tool. It has two
+// modes.
 //
-// Usage:
+// Blacklist audit mode (the default) runs the paper's Section 7 audit
+// against the synthetic provider databases: orphan prefixes (Table 11),
+// database inversion (Table 10) and multi-prefix URLs (Table 12):
 //
 //	sbanalyze -provider yandex -scale 100
+//
+// Probe-log replay mode (-probe-store) replays a persisted probe log
+// written by "sbserver -probe-store" and runs the Section 6
+// re-identification analysis over it offline — demonstrating that a
+// provider which retains the probe stream can draw every conclusion a
+// live wiretap could, long after the fact:
+//
+//	sbanalyze -probe-store /var/log/sb-probes -index urls.txt
+//	sbanalyze -probe-store /var/log/sb-probes -client victim-cookie
+//
+// -index is a file of URLs (one per line) standing in for the
+// provider's web index; -client prints one cookie's raw probe history
+// from the per-client index.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"sbprivacy/internal/blacklist"
+	"sbprivacy/internal/core"
+	"sbprivacy/internal/probestore"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/urlx"
 )
 
 func main() {
@@ -22,11 +42,18 @@ func main() {
 
 func run() int {
 	var (
-		provider = flag.String("provider", "yandex", "google or yandex")
-		scale    = flag.Int("scale", 100, "scale divisor")
-		seed     = flag.Int64("seed", 2015, "generation seed")
+		provider  = flag.String("provider", "yandex", "google or yandex")
+		scale     = flag.Int("scale", 100, "scale divisor")
+		seed      = flag.Int64("seed", 2015, "generation seed")
+		storeDir  = flag.String("probe-store", "", "replay a persisted probe log from this directory instead of auditing blacklists")
+		indexFile = flag.String("index", "", "file of URLs (one per line) forming the provider's web index for re-identification")
+		client    = flag.String("client", "", "print the probe history of one client cookie (replay mode)")
 	)
 	flag.Parse()
+
+	if *storeDir != "" {
+		return runReplay(*storeDir, *indexFile, *client)
+	}
 
 	var p blacklist.Provider
 	switch *provider {
@@ -103,4 +130,119 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// runReplay is the -probe-store mode: open the log read-only, print the
+// store's shape, then run the re-identification analysis (with -index)
+// or dump one client's history (with -client).
+func runReplay(dir, indexFile, client string) int {
+	store, err := probestore.Open(dir, probestore.ReadOnly())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
+		return 1
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush() //nolint:errcheck // stdout flush at exit
+
+	fmt.Fprintf(w, "== probe store %s ==\n", dir)
+	fmt.Fprintln(w, "segment\trecords\tbytes")
+	var records int
+	for _, seg := range store.Segments() {
+		fmt.Fprintf(w, "%08d\t%d\t%d\n", seg.ID, seg.Records, seg.Bytes)
+		records += seg.Records
+	}
+	fmt.Fprintf(w, "total\t%d\t\n", records)
+
+	if client != "" {
+		// One-shot query: a filtered streaming replay answers it in one
+		// sequential pass with no resident index. (Store.ClientHistory
+		// and its per-client index serve repeated library queries.)
+		var history []sbserver.Probe
+		if err := store.Replay(func(p sbserver.Probe) error {
+			if p.ClientID == client {
+				history = append(history, p)
+			}
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(w, "\n== history of client %q (%d probes) ==\n", client, len(history))
+		fmt.Fprintln(w, "time\tprefixes")
+		for _, p := range history {
+			fmt.Fprintf(w, "%s\t%v\n", p.Time.UTC().Format("2006-01-02T15:04:05.000Z"), p.Prefixes)
+		}
+	}
+
+	if indexFile != "" {
+		index, n, err := loadIndex(indexFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbanalyze: load index %s: %v\n", indexFile, err)
+			return 1
+		}
+		analyzer := core.NewAnalyzer(index)
+		if err := store.Replay(func(p sbserver.Probe) error {
+			analyzer.Observe(p)
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "sbanalyze: replay: %v\n", err)
+			return 1
+		}
+		rep := analyzer.Report()
+		fmt.Fprintf(w, "\n== re-identification over %d indexed URLs (%d clients) ==\n", n, len(rep.Clients))
+		w.Flush() //nolint:errcheck // interleave report after table
+		fmt.Print(rep)
+	} else if client == "" {
+		// Summary-only run: count distinct cookies in one streaming
+		// pass rather than forcing the store to build its full index.
+		seen := make(map[string]struct{})
+		if err := store.Replay(func(p sbserver.Probe) error {
+			seen[p.ClientID] = struct{}{}
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "sbanalyze: replay: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(w, "distinct clients\t%d\t\n", len(seen))
+		fmt.Fprintln(w, "\n(pass -index urls.txt to run the re-identification analysis,")
+		fmt.Fprintln(w, " or -client COOKIE to dump one client's history)")
+	}
+	return 0
+}
+
+// loadIndex reads a URL-per-line file into the provider's web index.
+// Full URLs are canonicalized; bare expressions ("host/path") are
+// indexed as-is. Blank lines and #-comments are skipped.
+func loadIndex(path string) (*core.Index, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close() //nolint:errcheck // read-side close
+
+	index := core.NewIndex(nil)
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		if strings.Contains(line, "://") {
+			c, err := urlx.Canonicalize(line)
+			if err != nil {
+				return nil, 0, fmt.Errorf("line %q: %w", line, err)
+			}
+			line = c.String()
+		}
+		index.Add(line)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, fmt.Errorf("no URLs found")
+	}
+	return index, n, nil
 }

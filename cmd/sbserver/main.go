@@ -6,10 +6,17 @@
 //
 //	sbserver -addr :8045 -provider yandex -scale 100
 //	sbserver -urls blacklist.txt -probe-log-limit 100000 -probe-drop
+//	sbserver -probe-store /var/log/sb-probes -probe-store-retain 64
+//
+// With -probe-store every observed probe is additionally persisted to a
+// segmented on-disk log (internal/probestore) that cmd/sbanalyze can
+// replay offline — the durable retention layer of the paper's threat
+// model.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: the HTTP listener
-// stops, the probe pipeline is flushed, and the probe counters are
-// printed — the provider's final accounting of what it observed.
+// stops, the probe pipeline is flushed, the probe store (if any) is
+// spilled and synced, and the probe counters are printed — the
+// provider's final accounting of what it observed.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"sbprivacy/internal/blacklist"
+	"sbprivacy/internal/probestore"
 	"sbprivacy/internal/sbserver"
 )
 
@@ -45,8 +53,30 @@ func run() int {
 		probeBuf  = flag.Int("probe-buffer", sbserver.DefaultProbeBuffer, "probe pipeline buffer size")
 		probeCap  = flag.Int("probe-log-limit", 0, "keep only the most recent N probes (0 = unbounded)")
 		probeDrop = flag.Bool("probe-drop", false, "shed probes when the pipeline is saturated instead of applying backpressure")
+
+		storeDir      = flag.String("probe-store", "", "directory for the persistent probe store (empty = in-memory log only)")
+		storeSegMB    = flag.Int("probe-store-segment-mb", 4, "probe store segment rotation size in MiB")
+		storeRetain   = flag.Int("probe-store-retain", 0, "keep only the newest N probe store segments (0 = keep all)")
+		storeRetainMB = flag.Int("probe-store-retain-mb", 0, "bound the probe store to N MiB on disk (0 = unbounded)")
 	)
 	flag.Parse()
+
+	// With a durable store handling retention, an unbounded in-memory
+	// log would just re-accumulate every probe until OOM on a long run;
+	// bound it unless the operator chose a limit (0 stays honored when
+	// passed explicitly).
+	if *storeDir != "" {
+		logLimitSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "probe-log-limit" {
+				logLimitSet = true
+			}
+		})
+		if !logLimitSet {
+			*probeCap = 65536
+			log.Printf("probe store enabled: bounding in-memory probe log to %d (override with -probe-log-limit)", *probeCap)
+		}
+	}
 
 	var p blacklist.Provider
 	switch *provider {
@@ -81,6 +111,24 @@ func run() int {
 		}
 		log.Printf("loaded %d URLs from %s into %s", n, *urlsFile, *urlsList)
 	}
+	var store *probestore.Store
+	if *storeDir != "" {
+		store, err = probestore.Open(*storeDir,
+			probestore.WithMaxSegmentBytes(int64(*storeSegMB)<<20),
+			probestore.WithRetainSegments(*storeRetain),
+			probestore.WithRetainBytes(int64(*storeRetainMB)<<20),
+		)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbserver: %v\n", err)
+			return 1
+		}
+		u.Server.Subscribe(store)
+		st := store.Stats()
+		// Persisted counts every record scanned at open; at-Open
+		// retention may have evicted some of them already.
+		log.Printf("probe store %s: %d segments, %d records retained",
+			*storeDir, st.Segments, st.Persisted-st.EvictedRecords)
+	}
 	for _, name := range u.Server.ListNames() {
 		n, _ := u.Server.ListLen(name)
 		log.Printf("list %-36s %7d prefixes", name, n)
@@ -98,24 +146,40 @@ func run() int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
 
+	exit := 0
 	select {
 	case err := <-errCh:
+		// The listener died on its own; still drain the pipeline and
+		// persist the probe store below — the probes already observed
+		// are the provider's data and must survive this exit too.
 		fmt.Fprintf(os.Stderr, "sbserver: %v\n", err)
-		return 1
+		exit = 1
 	case <-ctx.Done():
-	}
-	log.Print("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := httpServer.Shutdown(shutdownCtx); err != nil {
-		log.Printf("sbserver: shutdown: %v", err)
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("sbserver: shutdown: %v", err)
+		}
 	}
 	if err := u.Server.Close(); err != nil { // flush the probe pipeline
 		log.Printf("sbserver: close: %v", err)
 	}
 	stats := u.Server.ProbeStats()
 	log.Printf("probes: received=%d dropped=%d evicted=%d", stats.Received, stats.Dropped, stats.Evicted)
-	return 0
+	if store != nil {
+		// The pipeline is drained, so the store has seen everything;
+		// persist the buffered tail. A failure here means probes were
+		// lost — reflect it in the exit code, not just the log.
+		if err := store.Close(); err != nil {
+			log.Printf("sbserver: probe store close: %v", err)
+			exit = 1
+		}
+		st := store.Stats()
+		log.Printf("probe store: persisted=%d segments=%d bytes=%d evicted=%d dropped=%d writeErrors=%d",
+			st.Persisted, st.Segments, st.LiveBytes, st.EvictedRecords, st.Dropped, st.WriteErrors)
+	}
+	return exit
 }
 
 // loadURLs streams a URL file into the server in batches via AddURLs.

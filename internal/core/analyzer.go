@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sbprivacy/internal/sbserver"
+)
+
+// Analyzer aggregates the paper's multi-prefix re-identification
+// analysis (Section 6.1) over a stream of probes: each full-hash
+// request's prefix set is resolved against the provider's web index,
+// and the conclusions are tallied per client cookie. It implements
+// sbserver.ProbeSink, so it can run live (subscribed to a server) or
+// offline (fed from a persisted probe log via probestore.Replay); both
+// paths produce the identical Report for the same probes, which is what
+// makes a stored log as dangerous as a live wiretap. Safe for
+// concurrent use.
+type Analyzer struct {
+	mu      sync.Mutex
+	x       *Index
+	clients map[string]*clientAgg
+}
+
+var _ sbserver.ProbeSink = (*Analyzer)(nil)
+
+// clientAgg is the per-cookie tally.
+type clientAgg struct {
+	probes    int
+	prefixes  int
+	exact     map[string]int
+	domains   map[string]int
+	ambiguous int
+	unknown   int
+}
+
+// NewAnalyzer builds an analyzer over the provider's web index.
+func NewAnalyzer(x *Index) *Analyzer {
+	return &Analyzer{x: x, clients: make(map[string]*clientAgg)}
+}
+
+// Observe implements sbserver.ProbeSink: it re-identifies one probe's
+// prefix set and files the outcome under the probe's cookie. A probe
+// with a single exact candidate is an exact URL re-identification; a
+// probe whose candidates share a registrable domain re-identifies the
+// site; anything else is ambiguous (candidates disagree) or unknown
+// (no indexed URL explains the prefixes).
+func (a *Analyzer) Observe(p sbserver.Probe) {
+	r := a.x.Reidentify(p.Prefixes)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.clients[p.ClientID]
+	if c == nil {
+		c = &clientAgg{exact: make(map[string]int), domains: make(map[string]int)}
+		a.clients[p.ClientID] = c
+	}
+	c.probes++
+	c.prefixes += len(p.Prefixes)
+	switch {
+	case r.Exact:
+		c.exact[r.Candidates[0]]++
+	case r.CommonDomain != "":
+		c.domains[r.CommonDomain]++
+	case len(r.Candidates) > 0:
+		c.ambiguous++
+	default:
+		c.unknown++
+	}
+}
+
+// NameCount is a name with an occurrence count, sorted by descending
+// count then name in reports.
+type NameCount struct {
+	// Name is a URL expression or registrable domain.
+	Name string
+	// Count is how many probes produced this conclusion.
+	Count int
+}
+
+// ClientReport is the analyzer's conclusions about one client cookie.
+type ClientReport struct {
+	// ClientID is the Safe Browsing cookie.
+	ClientID string
+	// Probes is the number of full-hash requests observed.
+	Probes int
+	// Prefixes is the total number of prefixes across those probes.
+	Prefixes int
+	// ExactURLs are the URLs re-identified exactly (a unique candidate).
+	ExactURLs []NameCount
+	// Domains are the registrable domains re-identified when the exact
+	// URL stayed ambiguous.
+	Domains []NameCount
+	// Ambiguous counts probes whose candidates span several domains.
+	Ambiguous int
+	// Unknown counts probes no indexed URL explains.
+	Unknown int
+}
+
+// Report is the analyzer's full output, one entry per client, sorted by
+// cookie. It is deterministic for a given probe multiset: two analyzer
+// runs over the same probes — regardless of delivery order or
+// interleaving — produce deeply equal reports.
+type Report struct {
+	// Clients holds one report per observed cookie, sorted by cookie.
+	Clients []ClientReport
+}
+
+// Report snapshots the analyzer's conclusions so far. Live callers must
+// flush the server first so in-flight probes are included.
+func (a *Analyzer) Report() *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep := &Report{Clients: make([]ClientReport, 0, len(a.clients))}
+	for id, c := range a.clients {
+		rep.Clients = append(rep.Clients, ClientReport{
+			ClientID:  id,
+			Probes:    c.probes,
+			Prefixes:  c.prefixes,
+			ExactURLs: sortedCounts(c.exact),
+			Domains:   sortedCounts(c.domains),
+			Ambiguous: c.ambiguous,
+			Unknown:   c.unknown,
+		})
+	}
+	sort.Slice(rep.Clients, func(i, j int) bool {
+		return rep.Clients[i].ClientID < rep.Clients[j].ClientID
+	})
+	return rep
+}
+
+// sortedCounts flattens a tally map into a deterministic slice.
+func sortedCounts(m map[string]int) []NameCount {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]NameCount, 0, len(m))
+	for n, c := range m {
+		out = append(out, NameCount{Name: n, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// String renders the report as the provider's per-client dossier — the
+// text cmd/sbanalyze prints for both the live and the replayed path.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, c := range r.Clients {
+		fmt.Fprintf(&b, "client %s: %d probes, %d prefixes\n", c.ClientID, c.Probes, c.Prefixes)
+		for _, e := range c.ExactURLs {
+			fmt.Fprintf(&b, "  exact   %s (x%d)\n", e.Name, e.Count)
+		}
+		for _, d := range c.Domains {
+			fmt.Fprintf(&b, "  domain  %s (x%d)\n", d.Name, d.Count)
+		}
+		if c.Ambiguous > 0 {
+			fmt.Fprintf(&b, "  ambiguous: %d\n", c.Ambiguous)
+		}
+		if c.Unknown > 0 {
+			fmt.Fprintf(&b, "  unknown: %d\n", c.Unknown)
+		}
+	}
+	return b.String()
+}

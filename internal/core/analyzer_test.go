@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbserver"
+)
+
+func analyzerIndex() *Index {
+	return NewIndex([]string{
+		"petsymposium.org/",
+		"petsymposium.org/2016/",
+		"petsymposium.org/2016/cfp.php",
+		"petsymposium.org/2016/links.php",
+		"other.example/page",
+	})
+}
+
+func TestAnalyzerClassification(t *testing.T) {
+	a := NewAnalyzer(analyzerIndex())
+	now := time.Unix(1457_000_000, 0)
+
+	// Exact: cfp.php's two deepest decomposition prefixes are unique.
+	a.Observe(sbserver.Probe{Time: now, ClientID: "victim", Prefixes: []hashx.Prefix{
+		hashx.SumPrefix("petsymposium.org/2016/cfp.php"),
+		hashx.SumPrefix("petsymposium.org/2016/"),
+	}})
+	// Domain-level: the site root prefix alone is shared by every
+	// petsymposium URL, so candidates agree only on the domain.
+	a.Observe(sbserver.Probe{Time: now, ClientID: "victim", Prefixes: []hashx.Prefix{
+		hashx.SumPrefix("petsymposium.org/"),
+	}})
+	// Unknown: a prefix no indexed URL produces.
+	a.Observe(sbserver.Probe{Time: now, ClientID: "stranger", Prefixes: []hashx.Prefix{
+		hashx.SumPrefix("unindexed.example/"),
+	}})
+
+	rep := a.Report()
+	if len(rep.Clients) != 2 {
+		t.Fatalf("clients = %+v", rep.Clients)
+	}
+	stranger, victim := rep.Clients[0], rep.Clients[1]
+	if victim.ClientID != "victim" || victim.Probes != 2 || victim.Prefixes != 3 {
+		t.Errorf("victim = %+v", victim)
+	}
+	if len(victim.ExactURLs) != 1 ||
+		victim.ExactURLs[0] != (NameCount{Name: "petsymposium.org/2016/cfp.php", Count: 1}) {
+		t.Errorf("victim exact = %+v", victim.ExactURLs)
+	}
+	if len(victim.Domains) != 1 || victim.Domains[0].Name != "petsymposium.org" {
+		t.Errorf("victim domains = %+v", victim.Domains)
+	}
+	if stranger.ClientID != "stranger" || stranger.Unknown != 1 {
+		t.Errorf("stranger = %+v", stranger)
+	}
+}
+
+// TestAnalyzerOrderIndependence is the property the probe-store replay
+// path depends on: the report is a pure function of the probe multiset,
+// not of delivery order.
+func TestAnalyzerOrderIndependence(t *testing.T) {
+	x := analyzerIndex()
+	var probes []sbserver.Probe
+	now := time.Unix(1457_000_000, 0)
+	for i := 0; i < 50; i++ {
+		client := []string{"a", "b", "c"}[i%3]
+		expr := []string{
+			"petsymposium.org/2016/cfp.php",
+			"petsymposium.org/",
+			"other.example/page",
+		}[i%3]
+		probes = append(probes, sbserver.Probe{
+			Time: now.Add(time.Duration(i) * time.Second), ClientID: client,
+			Prefixes: []hashx.Prefix{hashx.SumPrefix(expr)},
+		})
+	}
+	ordered := NewAnalyzer(x)
+	for _, p := range probes {
+		ordered.Observe(p)
+	}
+	shuffled := NewAnalyzer(x)
+	rng := rand.New(rand.NewSource(42))
+	for _, i := range rng.Perm(len(probes)) {
+		shuffled.Observe(probes[i])
+	}
+	if !reflect.DeepEqual(ordered.Report(), shuffled.Report()) {
+		t.Errorf("reports differ:\n%s\nvs\n%s", ordered.Report(), shuffled.Report())
+	}
+}

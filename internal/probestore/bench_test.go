@@ -1,0 +1,108 @@
+package probestore
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbserver"
+)
+
+// BenchmarkStoreIngest measures sustained Observe throughput with
+// aggressive segment rotation and retention enabled — the configuration
+// that proves spilling keeps memory bounded while the disk absorbs the
+// stream. live-MB reports the on-disk working set; heap growth stays
+// flat because only the stripe buffers and the client index are
+// resident.
+func BenchmarkStoreIngest(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir,
+		WithMaxSegmentBytes(1<<20),
+		WithRetainSegments(8),
+	)
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	clients := make([]string, 64)
+	for i := range clients {
+		clients[i] = fmt.Sprintf("bench-client-%02d", i)
+	}
+	base := time.Unix(1457_000_000, 0)
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(sbserver.Probe{
+			Time:     base.Add(time.Duration(i) * time.Microsecond),
+			ClientID: clients[i%len(clients)],
+			Prefixes: []hashx.Prefix{hashx.Prefix(i), hashx.Prefix(i * 31)},
+		})
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatalf("Flush: %v", err)
+	}
+	b.StopTimer()
+
+	var after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	st := s.Stats()
+	if st.WriteErrors != 0 {
+		b.Fatalf("write errors: %+v", st)
+	}
+	b.ReportMetric(float64(st.LiveBytes)/(1<<20), "live-MB")
+	heapGrowth := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	b.ReportMetric(heapGrowth/(1<<20), "heapgrowth-MB")
+	if err := s.Close(); err != nil {
+		b.Fatalf("Close: %v", err)
+	}
+}
+
+// BenchmarkStoreReplay measures how fast a persisted log streams back
+// into an analysis pass.
+func BenchmarkStoreReplay(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, WithMaxSegmentBytes(1<<20))
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		s.Observe(probeBench(i))
+	}
+	if err := s.Close(); err != nil {
+		b.Fatalf("Close: %v", err)
+	}
+	r, err := Open(dir, ReadOnly())
+	if err != nil {
+		b.Fatalf("Open read-only: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := r.Replay(func(p sbserver.Probe) error {
+			count++
+			return nil
+		}); err != nil {
+			b.Fatalf("Replay: %v", err)
+		}
+		if count != n {
+			b.Fatalf("replayed %d, want %d", count, n)
+		}
+	}
+	b.ReportMetric(float64(n), "probes/replay")
+}
+
+func probeBench(i int) sbserver.Probe {
+	return sbserver.Probe{
+		Time:     time.Unix(1457_000_000, int64(i)),
+		ClientID: fmt.Sprintf("bench-client-%02d", i%32),
+		Prefixes: []hashx.Prefix{hashx.Prefix(i)},
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package probestore
+
+import "os"
+
+// flockFile is a no-op on platforms without flock: the single-writer
+// guard degrades to unenforced there.
+func flockFile(*os.File) error { return nil }
+
+// funlockFile matches flockFile's no-op.
+func funlockFile(*os.File) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package probestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockFile places a non-blocking exclusive advisory lock on f. The
+// lock is released by funlockFile or automatically when the process
+// dies, so a crash never leaves the directory wedged.
+func flockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// funlockFile releases the lock taken by flockFile.
+func funlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,716 @@
+// Package probestore implements a persistent, segmented, append-only
+// store for the probes a Safe Browsing provider observes — the durable
+// retention layer of the paper's threat model. The in-memory probe log
+// of internal/sbserver bounds how long the provider can "remember"; this
+// store removes that bound: probes are buffered per client stripe and
+// spilled to size-bounded on-disk segment files in the length-prefixed
+// wire encoding of wire.ProbeRecord, so the analysis machinery can
+// replay arbitrarily old history long after the serving process exited.
+//
+// The Store implements sbserver.ProbeSink and is subscribed to a server
+// like any other sink:
+//
+//	store, _ := probestore.Open(dir)
+//	server.Subscribe(store)
+//	...
+//	server.Close() // drain the probe pipeline
+//	store.Close()  // spill and sync the tail
+//
+// Durability model: records reach disk when a stripe buffer fills
+// (WithSpillThreshold), on Flush, and on Close. A crash loses at most
+// the buffered tail; a crash mid-write leaves a torn final record,
+// which Open detects and truncates, so every record before the tear
+// survives. Segment files are immutable once rotated, which makes
+// retention (WithRetainSegments / WithRetainBytes) a whole-file delete
+// of the oldest segment — no compaction, no rewrite.
+//
+// Per-client order is preserved: probes from one cookie land in one
+// stripe and spill in arrival order, so Replay and ClientHistory see
+// each client's history FIFO — the property the tracking and temporal
+// correlation machinery depends on. Cross-client interleaving follows
+// spill order, not arrival order; records carry timestamps for
+// analyses that need a global order.
+//
+// Memory model: the probes themselves live on disk, but a writable
+// store's per-client index keeps roughly 24 bytes of bookkeeping per
+// live record in memory. Retention prunes index entries along with
+// their segments, so the resident set is bounded by the retention
+// limits; a store opened with no retention grows its index (and disk)
+// without bound — size WithRetainSegments/WithRetainBytes accordingly
+// for long-running servers. A read-only store defers the index until
+// the first Clients/ClientHistory call, so pure Replay streams with no
+// per-record memory at all.
+package probestore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/wire"
+)
+
+// Defaults for Open.
+const (
+	// DefaultMaxSegmentBytes is the rotation point for segment files.
+	DefaultMaxSegmentBytes = 4 << 20
+	// DefaultSpillThreshold is the per-stripe buffer size that triggers
+	// a spill to the current segment.
+	DefaultSpillThreshold = 64 << 10
+)
+
+// storeStripes is the number of client-hashed buffer lanes. It matches
+// the probe pipeline's maximum stripe count so concurrent drainer
+// goroutines rarely contend on one buffer.
+const storeStripes = 16
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("probestore: store is closed")
+
+// ErrReadOnly reports a mutating operation on a read-only store.
+var ErrReadOnly = errors.New("probestore: store is read-only")
+
+// ErrLocked reports a writable Open of a directory another live
+// process already writes to. Two writers sharing a tail segment would
+// corrupt each other's offsets; the second must fail loudly instead.
+// Read-only opens are not blocked — analyzing a live store is allowed.
+var ErrLocked = errors.New("probestore: directory locked by another writer")
+
+// lockFileName is the advisory single-writer lock in a store directory.
+const lockFileName = "LOCK"
+
+// Stats reports the store's counters.
+type Stats struct {
+	// Received counts probes handed to Observe.
+	Received uint64
+	// Persisted counts records written to segment files.
+	Persisted uint64
+	// Segments is the number of live segment files.
+	Segments int
+	// LiveBytes is the total size of live segment files.
+	LiveBytes int64
+	// EvictedSegments counts segment files deleted by retention.
+	EvictedSegments uint64
+	// EvictedRecords counts records lost to retention.
+	EvictedRecords uint64
+	// WriteErrors counts error events while encoding, spilling, syncing
+	// or pruning — not lost probes: records whose spill failed stay
+	// buffered and may be persisted by a later retry, and only probes
+	// rejected outright (oversized, or observed after Close) are truly
+	// dropped. The first error since the last Flush is also returned by
+	// Flush and Close.
+	WriteErrors uint64
+	// Dropped counts records discarded because a stripe buffer hit its
+	// failure cap while spills kept failing — the store's last-resort
+	// shedding during a disk outage, bounding memory instead of growing
+	// toward OOM.
+	Dropped uint64
+	// TruncatedBytes counts torn-tail bytes discarded during recovery.
+	TruncatedBytes int64
+}
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	maxSegmentBytes int64
+	spillThreshold  int
+	failureCap      int
+	retainSegments  int
+	retainBytes     int64
+	readOnly        bool
+}
+
+// WithMaxSegmentBytes sets the segment rotation size. Segments rotate
+// before exceeding n bytes (a single record larger than n still fits:
+// the segment then holds just that record). Non-positive values fall
+// back to DefaultMaxSegmentBytes.
+func WithMaxSegmentBytes(n int64) Option {
+	return func(c *config) { c.maxSegmentBytes = n }
+}
+
+// WithSpillThreshold sets the per-stripe buffer size, in bytes, that
+// triggers a spill to disk. Smaller values tighten the crash-loss
+// window; larger values batch writes.
+func WithSpillThreshold(n int) Option {
+	return func(c *config) { c.spillThreshold = n }
+}
+
+// WithRetainSegments bounds the store to the newest n segment files;
+// older segments are deleted at rotation and at Open. Zero keeps
+// everything — disk use and the in-memory per-client index then grow
+// with traffic (see the package comment's memory model).
+func WithRetainSegments(n int) Option {
+	return func(c *config) { c.retainSegments = n }
+}
+
+// WithRetainBytes bounds the total on-disk size: at rotation, the
+// oldest segments are deleted until the live files fit in n bytes.
+// Zero keeps everything.
+func WithRetainBytes(n int64) Option {
+	return func(c *config) { c.retainBytes = n }
+}
+
+// ReadOnly opens the store for replay only: the directory must exist,
+// nothing is created, truncated or deleted, and Observe is rejected. A
+// torn tail is skipped instead of repaired. This is the mode for
+// analyzing a log directory offline (cmd/sbanalyze -probe-store).
+func ReadOnly() Option {
+	return func(c *config) { c.readOnly = true }
+}
+
+// recordRef locates one persisted record: segment id, byte offset of
+// its frame, and frame length.
+type recordRef struct {
+	seg uint64
+	off int64
+	n   int32
+}
+
+// stripeBuf is one buffer lane. pending mirrors the encoded records in
+// buf so a spill can extend the client index with exact disk offsets.
+type stripeBuf struct {
+	mu      sync.Mutex
+	buf     []byte
+	pending []pendingRec
+}
+
+// pendingRec is the index metadata of one not-yet-spilled record.
+type pendingRec struct {
+	client string
+	off    int
+	n      int
+}
+
+// Store is a persistent probe log rooted at one directory. It is safe
+// for concurrent use; Observe may be called from many goroutines (the
+// probe pipeline's drainers).
+type Store struct {
+	dir string
+	cfg config
+
+	stripes [storeStripes]stripeBuf
+
+	// lock holds the directory's single-writer flock (nil read-only).
+	lock *os.File
+
+	// mu guards the writer state below and the client index.
+	mu       sync.Mutex
+	cur      *os.File
+	curID    uint64
+	curSize  int64
+	segments []segmentInfo // live segments in id order, including current
+	index    map[string][]recordRef
+	// indexReady is false on a read-only store until the first client
+	// query: pure replay never pays the index's memory.
+	indexReady bool
+	closed     bool
+	writeErr   error
+
+	// closedFlag mirrors closed for the lock-free fast path in Observe.
+	closedFlag atomic.Bool
+
+	received        atomic.Uint64
+	dropped         atomic.Uint64
+	persisted       uint64
+	evictedSegments uint64
+	evictedRecords  uint64
+	writeErrors     atomic.Uint64
+	truncatedBytes  int64
+}
+
+var _ sbserver.ProbeSink = (*Store)(nil)
+
+// Open opens (or creates) a probe store rooted at dir, recovering from
+// a previous run: existing segments are scanned to rebuild the client
+// index, and a torn final record — the signature of a crash mid-write —
+// is truncated away so the file ends at the last complete record.
+func Open(dir string, opts ...Option) (*Store, error) {
+	cfg := config{
+		maxSegmentBytes: DefaultMaxSegmentBytes,
+		spillThreshold:  DefaultSpillThreshold,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// Non-positive sizes (zeroed structs, unvalidated flags) fall back
+	// to the defaults rather than degrading to a rotation-per-spill.
+	if cfg.maxSegmentBytes <= 0 {
+		cfg.maxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	if cfg.spillThreshold <= 0 {
+		cfg.spillThreshold = DefaultSpillThreshold
+	}
+	// If the disk stops accepting spills, each stripe retains up to
+	// this much encoded backlog before shedding — bounded memory even
+	// through an outage.
+	cfg.failureCap = 16 * cfg.spillThreshold
+	if cfg.failureCap < 1<<20 {
+		cfg.failureCap = 1 << 20
+	}
+	s := &Store{dir: dir, cfg: cfg, index: make(map[string][]recordRef)}
+	if !cfg.readOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("probestore: %w", err)
+		}
+		lock, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("probestore: %w", err)
+		}
+		if err := flockFile(lock); err != nil {
+			lock.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+		}
+		s.lock = lock
+	}
+	if err := s.recover(); err != nil {
+		s.releaseLock()
+		return nil, err
+	}
+	s.indexReady = !cfg.readOnly
+	return s, nil
+}
+
+// ensureIndex builds the per-client index of a read-only store on
+// first use; writable stores maintain it incrementally from Open.
+func (s *Store) ensureIndex() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.indexReady {
+		return nil
+	}
+	for i := range s.segments {
+		seg := &s.segments[i]
+		_, _, err := walkSegment(segmentPath(s.dir, seg.id), seg.id,
+			func(rec *wire.ProbeRecord, off int64, n int) error {
+				s.index[rec.ClientID] = append(s.index[rec.ClientID], recordRef{
+					seg: seg.id, off: off, n: int32(n),
+				})
+				return nil
+			})
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // a live writer's retention evicted it; skip like Replay
+		}
+		if err != nil {
+			return err
+		}
+	}
+	s.indexReady = true
+	return nil
+}
+
+// releaseLock drops the single-writer lock, if held.
+func (s *Store) releaseLock() {
+	if s.lock == nil {
+		return
+	}
+	funlockFile(s.lock) //nolint:errcheck // released on close anyway
+	s.lock.Close()      //nolint:errcheck // lock handle
+	s.lock = nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Observe implements sbserver.ProbeSink: the probe is encoded into its
+// client's stripe buffer and spilled to the current segment once the
+// buffer reaches the spill threshold. Encoding or disk errors cannot be
+// returned here (the sink interface has no error path); they increment
+// Stats.WriteErrors and surface from the next Flush or Close.
+func (s *Store) Observe(p sbserver.Probe) {
+	s.received.Add(1)
+	if s.cfg.readOnly {
+		s.noteErr(ErrReadOnly)
+		return
+	}
+	rec := wire.ProbeRecord{
+		UnixNano: p.Time.UnixNano(),
+		ClientID: p.ClientID,
+		Prefixes: p.Prefixes,
+	}
+	// Probes arriving via LocalTransport never crossed the wire
+	// decoder, so its limits were not enforced. Clamp rather than drop:
+	// a truncated record still feeds the replayed analysis (a silently
+	// missing client would diverge from the live report); the clamp is
+	// counted as a write-error event so it is not invisible.
+	if len(rec.ClientID) > wire.MaxProbeClientIDBytes {
+		rec.ClientID = rec.ClientID[:wire.MaxProbeClientIDBytes]
+		s.noteErr(fmt.Errorf("probestore: client id truncated to %d bytes", wire.MaxProbeClientIDBytes))
+	}
+	if len(rec.Prefixes) > wire.MaxProbePrefixes {
+		rec.Prefixes = rec.Prefixes[:wire.MaxProbePrefixes]
+		s.noteErr(fmt.Errorf("probestore: prefix set truncated to %d", wire.MaxProbePrefixes))
+	}
+	st := &s.stripes[stripeFor(p.ClientID)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Checked under st.mu so a probe racing Close either lands before
+	// Close's final stripe sweep (and is persisted) or is rejected
+	// here — never stranded unbuffered-and-uncounted. Close sets the
+	// flag before that sweep.
+	if s.closedFlag.Load() {
+		s.noteErr(ErrClosed)
+		return
+	}
+	off := len(st.buf)
+	buf, err := wire.AppendProbeRecord(st.buf, &rec)
+	if err != nil {
+		s.noteErr(err)
+		return
+	}
+	st.buf = buf
+	// Index under rec.ClientID (the possibly-clamped id actually on
+	// disk), so ClientHistory answers identically before and after a
+	// restart rebuilds the index from the files.
+	st.pending = append(st.pending, pendingRec{
+		client: rec.ClientID, off: off, n: len(buf) - off,
+	})
+	if len(st.buf) >= s.cfg.spillThreshold {
+		if err := s.spillLocked(st); err != nil {
+			s.noteErr(err)
+			if len(st.buf) >= s.cfg.failureCap {
+				// Spills keep failing and the backlog hit the cap:
+				// shed the stripe's buffer rather than grow toward
+				// OOM. The loss is visible in Stats.Dropped.
+				s.dropped.Add(uint64(len(st.pending)))
+				st.buf = st.buf[:0]
+				st.pending = st.pending[:0]
+			}
+		}
+	}
+}
+
+// noteErr records a dropped-probe error for Stats and Flush.
+func (s *Store) noteErr(err error) {
+	s.writeErrors.Add(1)
+	s.mu.Lock()
+	if s.writeErr == nil {
+		s.writeErr = err
+	}
+	s.mu.Unlock()
+}
+
+// stripeFor maps a client cookie to a buffer lane. What matters is
+// that the mapping is fixed per cookie — one client's probes always
+// share a lane, preserving their order.
+func stripeFor(clientID string) uint32 {
+	return hashx.FNV32a(clientID) % storeStripes
+}
+
+// spillLocked appends the stripe's buffer to the current segment and
+// indexes the spilled records. The caller holds st.mu, which keeps one
+// client's spills in arrival order.
+func (s *Store) spillLocked(st *stripeBuf) error {
+	if len(st.buf) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.cfg.readOnly {
+		return ErrReadOnly
+	}
+	if s.cur == nil || s.curSize+int64(len(st.buf)) > s.cfg.maxSegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	base := s.curSize
+	if _, err := s.cur.Write(st.buf); err != nil {
+		// A short write (disk full, I/O error) may have left a torn
+		// fragment on disk past curSize. Roll the file back to the last
+		// record boundary so the segment stays scannable and later
+		// spills land at the offsets the index will claim; the buffered
+		// records stay in the stripe for a retry.
+		if terr := s.cur.Truncate(s.curSize); terr != nil {
+			// The fragment is stuck. Abandon the file — appending after
+			// it would put the tear mid-file, where recovery treats it
+			// as corruption; left as a tail tear it stays recoverable.
+			// The next spill rotates to a fresh segment (rotateLocked
+			// with cur == nil skips the poisoned file's sync, so a
+			// sticky EIO there can't wedge us). The buffered records
+			// must be dropped, not retried: complete records inside the
+			// fragment may have reached disk, and retrying them into
+			// the next segment would make Replay return duplicates —
+			// at-most-once beats maybe-twice for report fidelity.
+			s.cur.Close() //nolint:errcheck // abandoning a failing file
+			s.cur = nil
+			s.dropped.Add(uint64(len(st.pending)))
+			st.buf = st.buf[:0]
+			st.pending = st.pending[:0]
+		}
+		return fmt.Errorf("probestore: write segment %d: %w", s.curID, err)
+	}
+	s.curSize += int64(len(st.buf))
+	seg := &s.segments[len(s.segments)-1]
+	seg.bytes = s.curSize
+	seg.records += len(st.pending)
+	for _, pr := range st.pending {
+		s.index[pr.client] = append(s.index[pr.client], recordRef{
+			seg: s.curID, off: base + int64(pr.off), n: int32(pr.n),
+		})
+		seg.clients[pr.client] = true
+	}
+	s.persisted += uint64(len(st.pending))
+	st.buf = st.buf[:0]
+	st.pending = st.pending[:0]
+	return nil
+}
+
+// rotateLocked closes the current segment (if any), opens the next
+// one, and then applies retention — after the append, so the live set
+// (current segment included) respects the limits at rest, not just
+// between rotations. The caller holds s.mu.
+func (s *Store) rotateLocked() error {
+	if s.cur != nil {
+		if err := s.cur.Sync(); err != nil {
+			return fmt.Errorf("probestore: sync segment %d: %w", s.curID, err)
+		}
+		if err := s.cur.Close(); err != nil {
+			return fmt.Errorf("probestore: close segment %d: %w", s.curID, err)
+		}
+		s.cur = nil
+	}
+	id := uint64(1)
+	if n := len(s.segments); n > 0 {
+		id = s.segments[n-1].id + 1
+	}
+	// O_APPEND so a post-error Truncate rollback repositions writes at
+	// the new EOF instead of leaving a hole at the old offset.
+	f, err := os.OpenFile(segmentPath(s.dir, id), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("probestore: create segment %d: %w", id, err)
+	}
+	if err := wire.WriteSegmentHeader(f); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		// Remove the untracked file: its id is not in s.segments, so
+		// the next rotation would pick the same id and trip O_EXCL
+		// forever if the file stayed behind.
+		os.Remove(segmentPath(s.dir, id)) //nolint:errcheck // best effort
+		return fmt.Errorf("probestore: segment %d header: %w", id, err)
+	}
+	s.cur = f
+	s.curID = id
+	s.curSize = wire.SegmentHeaderSize
+	s.segments = append(s.segments, segmentInfo{
+		id: id, bytes: s.curSize, clients: make(map[string]bool),
+	})
+	s.pruneLocked()
+	return nil
+}
+
+// pruneLocked applies the retention limits by deleting the oldest
+// closed segments. The current (still-open) segment is never deleted.
+// The caller holds s.mu.
+func (s *Store) pruneLocked() {
+	if s.cfg.retainSegments <= 0 && s.cfg.retainBytes <= 0 {
+		return
+	}
+	over := func() bool {
+		if len(s.segments) <= 1 {
+			return false // never prune down to nothing mid-rotation
+		}
+		if s.cfg.retainSegments > 0 && len(s.segments) > s.cfg.retainSegments {
+			return true
+		}
+		if s.cfg.retainBytes > 0 {
+			var total int64
+			for _, seg := range s.segments {
+				total += seg.bytes
+			}
+			return total > s.cfg.retainBytes
+		}
+		return false
+	}
+	pruned := make(map[uint64]bool)
+	touched := make(map[string]bool)
+	for over() {
+		oldest := s.segments[0]
+		if err := os.Remove(segmentPath(s.dir, oldest.id)); err != nil && !os.IsNotExist(err) {
+			s.writeErrors.Add(1)
+			if s.writeErr == nil {
+				s.writeErr = fmt.Errorf("probestore: prune segment %d: %w", oldest.id, err)
+			}
+			break // still clean the index for segments already removed
+		}
+		s.segments = s.segments[1:]
+		s.evictedSegments++
+		s.evictedRecords += uint64(oldest.records)
+		pruned[oldest.id] = true
+		for c := range oldest.clients {
+			touched[c] = true
+		}
+	}
+	if len(pruned) == 0 {
+		return
+	}
+	// Only clients with records in the pruned segments need their ref
+	// lists trimmed — rotation-time cost scales with the evicted
+	// segment, not with the whole index. Refs are appended in ascending
+	// segment order, so the evicted ones form a prefix.
+	for client := range touched {
+		refs := s.index[client]
+		i := 0
+		for i < len(refs) && pruned[refs[i].seg] {
+			i++
+		}
+		if i == len(refs) {
+			delete(s.index, client)
+		} else if i > 0 {
+			s.index[client] = append(refs[:0], refs[i:]...)
+		}
+	}
+}
+
+// spillAll spills every stripe buffer to the current segment and
+// returns the first error from these spills (not historical ones) —
+// the visibility barrier the read APIs need, without Flush's fsync or
+// its accumulated-error reporting.
+func (s *Store) spillAll() error {
+	var first error
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		err := s.spillLocked(st)
+		st.mu.Unlock()
+		if err != nil && !errors.Is(err, ErrClosed) {
+			s.noteErr(err)
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Flush spills every stripe buffer to disk and syncs the current
+// segment, so all probes observed before the call are durable. It
+// returns the first write error since the previous Flush, if any.
+//
+// Callers synchronizing with a live server must barrier the server
+// first: server.Flush() guarantees the pipeline has delivered every
+// probe to the store, then store.Flush() guarantees the store has
+// persisted them.
+func (s *Store) Flush() error {
+	if s.cfg.readOnly {
+		return nil
+	}
+	s.spillAll() //nolint:errcheck // folded into writeErr below
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != nil {
+		if err := s.cur.Sync(); err != nil {
+			s.writeErrors.Add(1)
+			if s.writeErr == nil {
+				s.writeErr = fmt.Errorf("probestore: sync segment %d: %w", s.curID, err)
+			}
+		}
+	}
+	err := s.writeErr
+	s.writeErr = nil
+	return err
+}
+
+// Close flushes and closes the store. Probes observed after Close are
+// counted as write errors and dropped.
+func (s *Store) Close() error {
+	// Reject new probes first, then sweep: an Observe racing Close
+	// either appended before the sweep reaches its stripe (persisted)
+	// or sees the flag (counted as a write error).
+	s.closedFlag.Store(true)
+	err := s.Flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	if s.cur != nil {
+		if cerr := s.cur.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("probestore: close segment %d: %w", s.curID, cerr)
+		}
+		s.cur = nil
+	}
+	s.releaseLock()
+	return err
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Received:        s.received.Load(),
+		Persisted:       s.persisted,
+		Segments:        len(s.segments),
+		EvictedSegments: s.evictedSegments,
+		EvictedRecords:  s.evictedRecords,
+		WriteErrors:     s.writeErrors.Load(),
+		Dropped:         s.dropped.Load(),
+		TruncatedBytes:  s.truncatedBytes,
+	}
+	for _, seg := range s.segments {
+		st.LiveBytes += seg.bytes
+	}
+	return st
+}
+
+// SegmentInfo describes one live segment file.
+type SegmentInfo struct {
+	// ID is the segment's monotonically increasing id.
+	ID uint64
+	// Path is the segment file's location.
+	Path string
+	// Bytes is the file size (header included).
+	Bytes int64
+	// Records is the number of complete records in the segment.
+	Records int
+}
+
+// Segments returns the live segments in id order (oldest first).
+func (s *Store) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentInfo, len(s.segments))
+	for i, seg := range s.segments {
+		out[i] = SegmentInfo{
+			ID:      seg.id,
+			Path:    segmentPath(s.dir, seg.id),
+			Bytes:   seg.bytes,
+			Records: seg.records,
+		}
+	}
+	return out
+}
+
+// Clients returns every client cookie with at least one persisted
+// probe, sorted. On a writable store it spills buffered probes first
+// so they are visible (no fsync — visibility, not durability).
+func (s *Store) Clients() ([]string, error) {
+	if !s.cfg.readOnly {
+		if err := s.spillAll(); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.ensureIndex(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.index))
+	for c := range s.index {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+

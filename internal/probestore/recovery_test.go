@@ -1,0 +1,222 @@
+package probestore
+
+import (
+	"os"
+	"testing"
+
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/wire"
+)
+
+// writeProbes fills a fresh store under dir with n probes from one
+// client and returns the resulting segment files.
+func writeProbes(t *testing.T, dir string, n int, opts ...Option) []SegmentInfo {
+	t.Helper()
+	s, err := Open(dir, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		s.Observe(probe("crash-client", i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return s.Segments()
+}
+
+// replayAll replays every probe in dir.
+func replayAll(t *testing.T, dir string) []sbserver.Probe {
+	t.Helper()
+	var out []sbserver.Probe
+	if err := mustReadOnly(t, dir).Replay(func(p sbserver.Probe) error {
+		out = append(out, p)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+// TestRecoveryTruncatesTornTail is the crash simulation: write
+// segments, chop the last record in half (a record torn mid-write),
+// reopen, and check that recovery truncates exactly the torn bytes —
+// every record before the tear survives, the torn one is gone, and the
+// store accepts new probes afterwards.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	const n = 50
+	segs := writeProbes(t, dir, n, WithMaxSegmentBytes(1024), WithSpillThreshold(1))
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %+v", segs)
+	}
+
+	// Tear the last segment mid-record: keep the header and cut the
+	// final record roughly in half.
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(last.Path)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	// Find the offset of the final record by walking the frames.
+	off, err := wire.CheckSegmentHeader(data)
+	if err != nil {
+		t.Fatalf("segment header: %v", err)
+	}
+	lastOff := off
+	for off < len(data) {
+		_, adv, err := wire.DecodeProbeRecord(data[off:])
+		if err != nil {
+			t.Fatalf("walk segment: %v", err)
+		}
+		lastOff = off
+		off += adv
+	}
+	cut := lastOff + (len(data)-lastOff)/2
+	if cut <= lastOff {
+		cut = lastOff + 1
+	}
+	if err := os.Truncate(last.Path, int64(cut)); err != nil {
+		t.Fatalf("simulate crash: %v", err)
+	}
+
+	// Recovery: the torn record is dropped, everything before survives.
+	s, err := Open(dir, WithMaxSegmentBytes(1024), WithSpillThreshold(1))
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	st := s.Stats()
+	if st.Persisted != n-1 {
+		t.Fatalf("recovered %d records, want %d", st.Persisted, n-1)
+	}
+	if st.TruncatedBytes != int64(cut-lastOff) {
+		t.Errorf("truncated %d bytes, want %d", st.TruncatedBytes, cut-lastOff)
+	}
+	if fi, err := os.Stat(last.Path); err != nil || fi.Size() != int64(lastOff) {
+		t.Errorf("segment size after recovery = %v/%v, want %d", fi, err, lastOff)
+	}
+
+	// The store keeps working: append one more probe, close, replay.
+	s.Observe(probe("crash-client", n))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != n {
+		t.Fatalf("replayed %d probes, want %d", len(got), n)
+	}
+	for i := 0; i < n-1; i++ {
+		if int(got[i].Prefixes[0]) != i {
+			t.Fatalf("probe %d = %+v, lost data before the tear", i, got[i])
+		}
+	}
+	if int(got[n-1].Prefixes[0]) != n {
+		t.Errorf("post-recovery probe = %+v, want index %d", got[n-1], n)
+	}
+}
+
+// TestRecoveryTornHeader covers a crash during segment creation: a file
+// shorter than the 3-byte header is all tear, and a zero-length file is
+// removed so the id can be reused.
+func TestRecoveryTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	writeProbes(t, dir, 3)
+
+	for _, size := range []int64{2, 0} {
+		path := segmentPath(dir, 99)
+		if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+			t.Fatalf("plant segment: %v", err)
+		}
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open with %d-byte segment: %v", size, err)
+		}
+		if st := s.Stats(); st.Persisted != 3 {
+			t.Errorf("size %d: persisted = %d, want 3", size, st.Persisted)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("size %d: planted segment not removed: %v", size, err)
+		}
+	}
+}
+
+// TestRecoveryTornTailInSealedSegment covers the write-error rollback
+// path: a sealed (non-final) segment may carry a torn tail when a
+// failed spill couldn't truncate its fragment. Recovery truncates it
+// like any other tail tear instead of rejecting the store.
+func TestRecoveryTornTailInSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeProbes(t, dir, 30, WithMaxSegmentBytes(512), WithSpillThreshold(1))
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %+v", segs)
+	}
+	sealed := segs[0]
+	if err := os.Truncate(sealed.Path, sealed.Bytes-2); err != nil {
+		t.Fatalf("simulate rollback fragment: %v", err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st := s.Stats()
+	if st.Persisted != 29 || st.TruncatedBytes == 0 {
+		t.Errorf("stats = %+v, want 29 persisted with a truncation", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestRecoveryRejectsMidSegmentCorruption distinguishes a tear (crash,
+// recoverable) from corruption in the middle of a sealed file (bad
+// disk, not recoverable by truncation): the latter must fail loudly.
+func TestRecoveryRejectsMidSegmentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeProbes(t, dir, 20, WithSpillThreshold(1))
+	path := segs[0].Path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Walk the frames to a record boundary near the middle and blow up
+	// its length prefix so the frame claims an absurd body size.
+	off, err := wire.CheckSegmentHeader(data)
+	if err != nil {
+		t.Fatalf("segment header: %v", err)
+	}
+	for off < len(data)/2 {
+		_, adv, err := wire.DecodeProbeRecord(data[off:])
+		if err != nil {
+			t.Fatalf("walk segment: %v", err)
+		}
+		off += adv
+	}
+	copy(data[off:], []byte{0xff, 0xff, 0xff, 0x7f})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted mid-segment corruption")
+	}
+}
+
+// TestRecoveryReadOnlySkipsTornTail checks the offline-analysis mode:
+// a torn tail is skipped, nothing on disk changes.
+func TestRecoveryReadOnlySkipsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeProbes(t, dir, 10, WithSpillThreshold(1))
+	last := segs[len(segs)-1]
+	if err := os.Truncate(last.Path, last.Bytes-3); err != nil {
+		t.Fatalf("simulate crash: %v", err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != 9 {
+		t.Fatalf("replayed %d probes, want 9", len(got))
+	}
+	if fi, err := os.Stat(last.Path); err != nil || fi.Size() != last.Bytes-3 {
+		t.Errorf("read-only open modified the file: %v %v", fi, err)
+	}
+}

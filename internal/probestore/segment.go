@@ -1,0 +1,315 @@
+package probestore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/wire"
+)
+
+// segmentExt is the segment file suffix; files are named
+// seg-00000001.plog, seg-00000002.plog, ...
+const segmentExt = ".plog"
+
+// segmentInfo is the in-memory bookkeeping for one live segment.
+type segmentInfo struct {
+	id      uint64
+	bytes   int64 // valid bytes, header included
+	records int
+	// clients is the set of cookies with records in this segment, so
+	// retention can clean the per-client index by visiting only the
+	// affected clients instead of sweeping the whole index.
+	clients map[string]bool
+}
+
+// segmentPath returns the file path of segment id under dir.
+func segmentPath(dir string, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d%s", id, segmentExt))
+}
+
+// parseSegmentName extracts the id from a segment file name, reporting
+// whether the name is a segment at all. Ids beyond the zero-padded
+// 8-digit width still parse (a long-lived store's ids grow
+// monotonically and never reset).
+func parseSegmentName(name string) (uint64, bool) {
+	digits, ok := strings.CutPrefix(name, "seg-")
+	if !ok {
+		return 0, false
+	}
+	digits, ok = strings.CutSuffix(digits, segmentExt)
+	if !ok || digits == "" {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// recover scans the directory's segments in id order, rebuilding the
+// client index and per-segment record counts. For a writable store the
+// final segment's torn tail (a record interrupted mid-write) is
+// truncated away and the segment is reopened for appending if it has
+// room; a read-only store leaves files untouched and simply skips torn
+// tails. A decode failure that is not a clean tear is surfaced as an
+// error — that is corruption, not a crash signature, and silently
+// dropping data behind it would be worse than stopping.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("probestore: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		if id, ok := parseSegmentName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		seg, refs, torn, err := scanSegment(s.dir, id)
+		if err != nil {
+			return err
+		}
+		if torn > 0 {
+			// A torn tail is a crash signature: normally only the last
+			// segment, but a failed write rollback can also seal a
+			// segment with a torn tail. Either way the tear is at the
+			// end of the file, so truncating to the last complete
+			// record loses nothing that was ever durable.
+			s.truncatedBytes += torn
+			if !s.cfg.readOnly {
+				if err := os.Truncate(segmentPath(s.dir, id), seg.bytes); err != nil {
+					return fmt.Errorf("probestore: truncate torn segment %d: %w", id, err)
+				}
+			}
+		}
+		if seg.bytes == 0 {
+			// A zero-length file is a crash during segment creation
+			// (nothing reached disk, not even the header): remove it so
+			// the id can be reused, or skip it read-only.
+			if !s.cfg.readOnly {
+				if err := os.Remove(segmentPath(s.dir, id)); err != nil {
+					return fmt.Errorf("probestore: remove empty segment %d: %w", id, err)
+				}
+			}
+			continue
+		}
+		// A read-only store defers the index until a client query asks
+		// for it (ensureIndex), so pure replay pays no index memory.
+		if !s.cfg.readOnly {
+			seg.clients = make(map[string]bool)
+			for _, r := range refs {
+				s.index[r.client] = append(s.index[r.client], recordRef{
+					seg: id, off: r.off, n: int32(r.n),
+				})
+				seg.clients[r.client] = true
+			}
+		}
+		s.segments = append(s.segments, seg)
+		s.persisted += uint64(seg.records)
+	}
+
+	// Reopen the newest recovered segment for appending when it still
+	// has room; otherwise the first spill will rotate to a fresh one.
+	if !s.cfg.readOnly && len(s.segments) > 0 {
+		tail := s.segments[len(s.segments)-1]
+		if tail.bytes < s.cfg.maxSegmentBytes {
+			f, err := os.OpenFile(segmentPath(s.dir, tail.id), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("probestore: reopen segment %d: %w", tail.id, err)
+			}
+			s.cur = f
+			s.curID = tail.id
+			s.curSize = tail.bytes
+		}
+	}
+	// Apply retention to the recovered set immediately: a restart with
+	// tighter limits must not wait for the next rotation (which a quiet
+	// server may never reach) to enforce them.
+	if !s.cfg.readOnly {
+		s.mu.Lock()
+		s.pruneLocked()
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// scanRef is one record located during a segment scan.
+type scanRef struct {
+	client string
+	off    int64
+	n      int
+}
+
+// walkSegment streams one segment file's complete records through fn
+// (with each frame's offset and length), returning the valid extent
+// (header plus complete records) and the count of torn trailing bytes
+// (0 when the file ends on a record boundary). A tear — at the header
+// or at a record — ends the walk silently; corruption that is not a
+// clean tear, and any error from fn, aborts with that error. Both
+// recovery and Replay walk segments through here, so their notions of
+// a segment's valid extent cannot diverge.
+func walkSegment(path string, id uint64, fn func(rec *wire.ProbeRecord, off int64, n int) error) (valid, torn int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("probestore: read segment %d: %w", id, err)
+	}
+	if len(data) == 0 {
+		return 0, 0, nil
+	}
+	hdr, err := wire.CheckSegmentHeader(data)
+	if err != nil {
+		if errors.Is(err, wire.ErrTornRecord) {
+			// Crash while writing the 3-byte header itself: everything
+			// in the file is torn.
+			return 0, int64(len(data)), nil
+		}
+		return 0, 0, fmt.Errorf("probestore: segment %d: %w", id, err)
+	}
+	off := int64(hdr)
+	for off < int64(len(data)) {
+		rec, n, err := wire.DecodeProbeRecord(data[off:])
+		if err != nil {
+			if errors.Is(err, wire.ErrTornRecord) {
+				break
+			}
+			return 0, 0, fmt.Errorf("probestore: segment %d at offset %d: %w", id, off, err)
+		}
+		if err := fn(rec, off, n); err != nil {
+			return 0, 0, err
+		}
+		off += int64(n)
+	}
+	return off, int64(len(data)) - off, nil
+}
+
+// scanSegment walks one segment file for recovery, returning the
+// segment's valid extent, the record locations for the client index,
+// and the number of torn trailing bytes.
+func scanSegment(dir string, id uint64) (segmentInfo, []scanRef, int64, error) {
+	seg := segmentInfo{id: id}
+	var refs []scanRef
+	valid, torn, err := walkSegment(segmentPath(dir, id), id,
+		func(rec *wire.ProbeRecord, off int64, n int) error {
+			refs = append(refs, scanRef{client: rec.ClientID, off: off, n: n})
+			seg.records++
+			return nil
+		})
+	if err != nil {
+		return segmentInfo{}, nil, 0, err
+	}
+	seg.bytes = valid
+	return seg, refs, torn, nil
+}
+
+// Replay iterates every persisted probe in segment order (oldest
+// segment first, file order within a segment) and hands each to fn; a
+// non-nil error from fn stops the walk and is returned. On a writable
+// store Replay spills the stripe buffers first, so probes still in
+// memory are included. Per-client order matches arrival order; see the
+// package comment for cross-client interleaving.
+func (s *Store) Replay(fn func(sbserver.Probe) error) error {
+	if !s.cfg.readOnly {
+		if err := s.spillAll(); err != nil {
+			return err
+		}
+	}
+	for _, seg := range s.Segments() {
+		_, _, err := walkSegment(seg.Path, seg.ID,
+			func(rec *wire.ProbeRecord, off int64, n int) error {
+				return fn(recordProbe(rec))
+			})
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // evicted by retention between snapshot and read
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClientHistory returns every persisted probe of one client cookie in
+// arrival order — the provider's "history of client X" query, answered
+// from the per-client index without scanning unrelated records. On a
+// writable store it spills the stripe buffers first.
+func (s *Store) ClientHistory(clientID string) ([]sbserver.Probe, error) {
+	if !s.cfg.readOnly {
+		if err := s.spillAll(); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.ensureIndex(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	refs := append([]recordRef(nil), s.index[clientID]...)
+	s.mu.Unlock()
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	out := make([]sbserver.Probe, 0, len(refs))
+	var f *os.File
+	var fID uint64
+	defer func() {
+		if f != nil {
+			f.Close() //nolint:errcheck // read-side close
+		}
+	}()
+	buf := make([]byte, 0, 512)
+	for _, r := range refs {
+		if f == nil || fID != r.seg {
+			if f != nil {
+				f.Close() //nolint:errcheck // read-side close
+			}
+			var err error
+			f, err = os.Open(segmentPath(s.dir, r.seg))
+			if os.IsNotExist(err) {
+				// Evicted by retention after the index snapshot; the
+				// remaining refs for this segment will skip the same way.
+				f = nil
+				fID = r.seg
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("probestore: open segment %d: %w", r.seg, err)
+			}
+			fID = r.seg
+		}
+		if cap(buf) < int(r.n) {
+			buf = make([]byte, r.n)
+		}
+		buf = buf[:r.n]
+		if _, err := f.ReadAt(buf, r.off); err != nil {
+			return nil, fmt.Errorf("probestore: read segment %d at %d: %w", r.seg, r.off, err)
+		}
+		rec, _, err := wire.DecodeProbeRecord(buf)
+		if err != nil {
+			return nil, fmt.Errorf("probestore: segment %d at %d: %w", r.seg, r.off, err)
+		}
+		out = append(out, recordProbe(rec))
+	}
+	return out, nil
+}
+
+// recordProbe converts a decoded wire record back into the in-memory
+// probe shape the analysis machinery consumes. The round trip through
+// UnixNano drops the monotonic clock reading; wall time is preserved.
+func recordProbe(rec *wire.ProbeRecord) sbserver.Probe {
+	return sbserver.Probe{
+		Time:     time.Unix(0, rec.UnixNano),
+		ClientID: rec.ClientID,
+		Prefixes: rec.Prefixes,
+	}
+}

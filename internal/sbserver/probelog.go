@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"sbprivacy/internal/hashx"
 )
 
 // OverflowPolicy decides what happens when probes arrive faster than the
@@ -142,11 +144,7 @@ func (p *probePipeline) stripeFor(clientID string) *probeStripe {
 	if len(p.stripes) == 1 {
 		return &p.stripes[0]
 	}
-	h := uint32(2166136261)
-	for i := 0; i < len(clientID); i++ {
-		h = (h ^ uint32(clientID[i])) * 16777619
-	}
-	return &p.stripes[h%uint32(len(p.stripes))]
+	return &p.stripes[hashx.FNV32a(clientID)%uint32(len(p.stripes))]
 }
 
 func (p *probePipeline) run(st *probeStripe) {

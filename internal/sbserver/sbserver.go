@@ -401,11 +401,26 @@ func (s *Server) Download(req *wire.DownloadRequest) (*wire.DownloadResponse, er
 // The lookup reads one striped-index shard per prefix, so requests for
 // different prefixes proceed fully in parallel; the probe is handed to
 // the async pipeline rather than appended under a write lock.
+//
+// The recorded probe is clamped to the wire-protocol limits (client id
+// and prefix-count): the HTTP path enforces them at decode, but
+// LocalTransport bypasses the decoder, and every sink — live analyzers
+// and the persistent store alike — must observe the identical probe or
+// a replayed log would diverge from the live view. The clamp affects
+// only the record; the lookup itself answers every requested prefix.
 func (s *Server) FullHashes(req *wire.FullHashRequest) (*wire.FullHashResponse, error) {
+	clientID := req.ClientID
+	if len(clientID) > wire.MaxProbeClientIDBytes {
+		clientID = clientID[:wire.MaxProbeClientIDBytes]
+	}
+	prefixes := req.Prefixes
+	if len(prefixes) > wire.MaxProbePrefixes {
+		prefixes = prefixes[:wire.MaxProbePrefixes]
+	}
 	s.probes.record(Probe{
 		Time:     s.now(),
-		ClientID: req.ClientID,
-		Prefixes: append([]hashx.Prefix(nil), req.Prefixes...),
+		ClientID: clientID,
+		Prefixes: append([]hashx.Prefix(nil), prefixes...),
 	})
 	resp := &wire.FullHashResponse{
 		CacheSeconds: s.cacheSeconds,

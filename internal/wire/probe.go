@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sbprivacy/internal/hashx"
+)
+
+// MaxProbeClientIDBytes is the longest client id a probe record may
+// carry (the protocol's string limit). Exported so callers that accept
+// probes from paths that bypass wire decoding (e.g. LocalTransport)
+// can clamp before encoding instead of failing.
+const MaxProbeClientIDBytes = maxStringLen
+
+// MaxProbePrefixes is the most prefixes one probe record may carry
+// (the protocol's per-request limit); see MaxProbeClientIDBytes for
+// why it is exported.
+const MaxProbePrefixes = maxPrefixesPerReq
+
+// MaxProbeRecordBytes bounds the body of one encoded probe record. It is
+// sized from the protocol limits (a client id of at most maxStringLen
+// bytes plus maxPrefixesPerReq prefixes) with headroom, so a corrupt
+// length prefix cannot force a large allocation during recovery scans.
+const MaxProbeRecordBytes = 4096
+
+// ErrTornRecord reports a probe record whose frame extends past the end
+// of the available bytes: the tail of a segment that was being written
+// when the process died. Recovery truncates the segment at the last
+// complete record.
+var ErrTornRecord = errors.New("wire: torn probe record")
+
+// ProbeRecord is the durable form of one observed probe — the (cookie,
+// prefixes, timestamp) triple the paper's provider retains. It is the
+// unit of the probe-log segment format used by internal/probestore.
+//
+// On disk a record is framed as uvarint(len(body)) followed by the body:
+// varint unix nanoseconds, uvarint-length-prefixed client id, uvarint
+// prefix count, then the 4-byte big-endian prefixes. The length prefix
+// makes torn-tail detection exact: a record whose frame runs past EOF
+// was interrupted mid-write.
+type ProbeRecord struct {
+	// UnixNano is the probe's arrival time in Unix nanoseconds.
+	UnixNano int64
+	// ClientID is the Safe Browsing cookie that sent the probe.
+	ClientID string
+	// Prefixes are the 32-bit prefixes the probe carried.
+	Prefixes []hashx.Prefix
+}
+
+// AppendProbeRecord appends the length-prefixed encoding of m to dst and
+// returns the extended slice. It fails if the client id or prefix count
+// exceeds the protocol limits (the same bounds the decoder enforces).
+func AppendProbeRecord(dst []byte, m *ProbeRecord) ([]byte, error) {
+	if len(m.ClientID) > maxStringLen {
+		return dst, fmt.Errorf("%w: client id = %d > %d bytes", ErrTooLarge, len(m.ClientID), maxStringLen)
+	}
+	if len(m.Prefixes) > maxPrefixesPerReq {
+		return dst, fmt.Errorf("%w: prefix count = %d > %d", ErrTooLarge, len(m.Prefixes), maxPrefixesPerReq)
+	}
+	body := make([]byte, 0, 16+len(m.ClientID)+hashx.PrefixSize*len(m.Prefixes))
+	body = binary.AppendVarint(body, m.UnixNano)
+	body = binary.AppendUvarint(body, uint64(len(m.ClientID)))
+	body = append(body, m.ClientID...)
+	body = binary.AppendUvarint(body, uint64(len(m.Prefixes)))
+	for _, p := range m.Prefixes {
+		b := p.Bytes()
+		body = append(body, b[:]...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...), nil
+}
+
+// DecodeProbeRecord parses one length-prefixed probe record from the
+// front of b, returning the record and the number of bytes it consumed.
+// A frame that extends past len(b) returns ErrTornRecord (with consumed
+// = 0), which callers use to find the truncation point of an
+// interrupted segment write. Any other malformed content returns a
+// non-nil error describing the corruption.
+func DecodeProbeRecord(b []byte) (*ProbeRecord, int, error) {
+	bodyLen, n := binary.Uvarint(b)
+	if n == 0 {
+		return nil, 0, ErrTornRecord
+	}
+	if n < 0 {
+		return nil, 0, fmt.Errorf("wire: probe record length overflows uvarint")
+	}
+	if bodyLen > MaxProbeRecordBytes {
+		return nil, 0, fmt.Errorf("%w: probe record body = %d > %d bytes", ErrTooLarge, bodyLen, MaxProbeRecordBytes)
+	}
+	if uint64(len(b)-n) < bodyLen {
+		return nil, 0, ErrTornRecord
+	}
+	body := b[n : n+int(bodyLen)]
+	consumed := n + int(bodyLen)
+
+	m := &ProbeRecord{}
+	nano, vn := binary.Varint(body)
+	if vn <= 0 {
+		return nil, 0, fmt.Errorf("wire: probe record: bad timestamp varint")
+	}
+	m.UnixNano = nano
+	body = body[vn:]
+
+	idLen, vn := binary.Uvarint(body)
+	if vn <= 0 || idLen > maxStringLen || uint64(len(body)-vn) < idLen {
+		return nil, 0, fmt.Errorf("wire: probe record: bad client id")
+	}
+	m.ClientID = string(body[vn : vn+int(idLen)])
+	body = body[vn+int(idLen):]
+
+	np, vn := binary.Uvarint(body)
+	if vn <= 0 || np > maxPrefixesPerReq || uint64(len(body)-vn) != np*hashx.PrefixSize {
+		return nil, 0, fmt.Errorf("wire: probe record: bad prefix block")
+	}
+	body = body[vn:]
+	if np > 0 {
+		m.Prefixes = make([]hashx.Prefix, np)
+		for i := range m.Prefixes {
+			p, err := hashx.PrefixFromBytes(body[i*hashx.PrefixSize : (i+1)*hashx.PrefixSize])
+			if err != nil {
+				return nil, 0, fmt.Errorf("wire: probe record: %w", err)
+			}
+			m.Prefixes[i] = p
+		}
+	}
+	return m, consumed, nil
+}
+
+// SegmentHeaderSize is the byte length of a probe-segment file header.
+const SegmentHeaderSize = 3
+
+// WriteSegmentHeader writes the probe-segment file header (magic,
+// version, MsgProbeSegment) to w. Every segment file starts with it.
+func WriteSegmentHeader(w io.Writer) error {
+	_, err := w.Write([]byte{Magic, Version, byte(MsgProbeSegment)})
+	return err
+}
+
+// CheckSegmentHeader validates the leading probe-segment header in b and
+// returns the number of bytes it occupies. Segments shorter than the
+// header are torn (an interrupted create); a wrong magic, version or
+// type is corruption.
+func CheckSegmentHeader(b []byte) (int, error) {
+	if len(b) < SegmentHeaderSize {
+		return 0, ErrTornRecord
+	}
+	if b[0] != Magic {
+		return 0, ErrBadMagic
+	}
+	if b[1] != Version {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, b[1])
+	}
+	if MsgType(b[2]) != MsgProbeSegment {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadType, b[2], MsgProbeSegment)
+	}
+	return SegmentHeaderSize, nil
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sbprivacy/internal/hashx"
+)
+
+func TestProbeRecordRoundTrip(t *testing.T) {
+	records := []ProbeRecord{
+		{UnixNano: 1457000000123456789, ClientID: "cookie-1",
+			Prefixes: []hashx.Prefix{0xe70ee6d1, 0x00000001}},
+		{UnixNano: -7, ClientID: "", Prefixes: nil}, // zero-time clocks go negative
+		{UnixNano: 0, ClientID: "c", Prefixes: []hashx.Prefix{0xffffffff}},
+	}
+	var buf []byte
+	for i := range records {
+		var err error
+		buf, err = AppendProbeRecord(buf, &records[i])
+		if err != nil {
+			t.Fatalf("AppendProbeRecord(%d): %v", i, err)
+		}
+	}
+	off := 0
+	for i := range records {
+		got, n, err := DecodeProbeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("DecodeProbeRecord(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(*got, records[i]) {
+			t.Errorf("record %d = %+v, want %+v", i, *got, records[i])
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Errorf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestProbeRecordTornTail(t *testing.T) {
+	rec := ProbeRecord{UnixNano: 42, ClientID: "victim",
+		Prefixes: []hashx.Prefix{1, 2, 3}}
+	full, err := AppendProbeRecord(nil, &rec)
+	if err != nil {
+		t.Fatalf("AppendProbeRecord: %v", err)
+	}
+	// Every strict prefix of the frame must be reported as torn, not as
+	// a decoded record and not as generic corruption.
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := DecodeProbeRecord(full[:cut])
+		if !errors.Is(err, ErrTornRecord) {
+			t.Fatalf("cut at %d/%d: err = %v, want ErrTornRecord", cut, len(full), err)
+		}
+	}
+}
+
+func TestProbeRecordLimits(t *testing.T) {
+	if _, err := AppendProbeRecord(nil, &ProbeRecord{
+		ClientID: strings.Repeat("x", maxStringLen+1),
+	}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized client id: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := AppendProbeRecord(nil, &ProbeRecord{
+		Prefixes: make([]hashx.Prefix, maxPrefixesPerReq+1),
+	}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized prefix set: err = %v, want ErrTooLarge", err)
+	}
+	// A corrupt frame claiming a huge body must fail fast, not be
+	// treated as torn (that would make recovery truncate valid data).
+	huge := []byte{0xff, 0xff, 0xff, 0x7f} // uvarint ~256M
+	if _, _, err := DecodeProbeRecord(huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("huge body length: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSegmentHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSegmentHeader(&buf); err != nil {
+		t.Fatalf("WriteSegmentHeader: %v", err)
+	}
+	n, err := CheckSegmentHeader(buf.Bytes())
+	if err != nil || n != SegmentHeaderSize {
+		t.Fatalf("CheckSegmentHeader = %d, %v", n, err)
+	}
+	if _, err := CheckSegmentHeader([]byte{Magic}); !errors.Is(err, ErrTornRecord) {
+		t.Errorf("short header: err = %v, want ErrTornRecord", err)
+	}
+	if _, err := CheckSegmentHeader([]byte{'X', Version, byte(MsgProbeSegment)}); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+	if _, err := CheckSegmentHeader([]byte{Magic, Version, byte(MsgFullHashRequest)}); !errors.Is(err, ErrBadType) {
+		t.Errorf("bad type: err = %v, want ErrBadType", err)
+	}
+}

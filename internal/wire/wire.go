@@ -35,6 +35,10 @@ const (
 	MsgFullHashResponse
 	MsgFullHashBatchRequest
 	MsgFullHashBatchResponse
+	// MsgProbeSegment identifies a probe-log segment file: the standard
+	// three-byte header followed by length-prefixed probe records (see
+	// probe.go and internal/probestore).
+	MsgProbeSegment
 )
 
 // ChunkType distinguishes additions from removals.

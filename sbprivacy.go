@@ -41,6 +41,7 @@ import (
 	"sbprivacy/internal/lookupapi"
 	"sbprivacy/internal/mitigation"
 	"sbprivacy/internal/prefixdb"
+	"sbprivacy/internal/probestore"
 	"sbprivacy/internal/sbclient"
 	"sbprivacy/internal/sbserver"
 	"sbprivacy/internal/urlx"
@@ -98,6 +99,11 @@ type (
 	Correlator = core.Correlator
 	// CorrelationRule describes one behaviour to detect.
 	CorrelationRule = core.CorrelationRule
+	// ProbeAnalyzer aggregates re-identification conclusions per client
+	// from a probe stream, live or replayed.
+	ProbeAnalyzer = core.Analyzer
+	// ReidentReport is the analyzer's per-client output.
+	ReidentReport = core.Report
 	// CollisionType classifies Type I/II/III prefix collisions.
 	CollisionType = collision.Type
 	// MitigationChecker performs Section 8 privacy-aware lookups.
@@ -117,6 +123,31 @@ type (
 // NewLookupAPIServer wraps a Safe Browsing database with the deprecated
 // plaintext Lookup API.
 var NewLookupAPIServer = lookupapi.NewServer
+
+// Persistent probe store (the provider's durable retention layer).
+type (
+	// ProbeStore is a persistent, segmented probe log implementing
+	// ProbeSink; see internal/probestore.
+	ProbeStore = probestore.Store
+	// ProbeStoreStats reports the store's counters.
+	ProbeStoreStats = probestore.Stats
+)
+
+// Probe store constructors and options.
+var (
+	// OpenProbeStore opens (or creates) a probe store directory.
+	OpenProbeStore = probestore.Open
+	// ProbeStoreReadOnly opens the store for offline replay.
+	ProbeStoreReadOnly = probestore.ReadOnly
+	// WithMaxSegmentBytes sets the store's segment rotation size.
+	WithMaxSegmentBytes = probestore.WithMaxSegmentBytes
+	// WithSpillThreshold sets the store's per-stripe buffer size.
+	WithSpillThreshold = probestore.WithSpillThreshold
+	// WithRetainSegments bounds the store to the newest n segments.
+	WithRetainSegments = probestore.WithRetainSegments
+	// WithRetainBytes bounds the store's total on-disk size.
+	WithRetainBytes = probestore.WithRetainBytes
+)
 
 // Experiment harness types.
 type (
@@ -230,6 +261,9 @@ var (
 	BuildTrackingPlan = core.BuildTrackingPlan
 	// NewTracker builds a probe-log tracker over plans.
 	NewTracker = core.NewTracker
+	// NewProbeAnalyzer builds a per-client re-identification analyzer
+	// over a web index; feed it live (Subscribe) or from a replayed log.
+	NewProbeAnalyzer = core.NewAnalyzer
 	// NewCorrelator builds a temporal-correlation engine.
 	NewCorrelator = core.NewCorrelator
 	// NewCorrelationRule builds a rule from URL expressions.
