@@ -19,14 +19,27 @@
 // -index is a file of URLs (one per line) standing in for the
 // provider's web index; -client prints one cookie's raw probe history
 // from the per-client index.
+//
+// Follow mode (-follow) tails a live store directory like `tail -f`:
+// every probe already on disk is delivered first, then probes are
+// streamed as the serving process spills them, until SIGINT/SIGTERM
+// stops the tail cleanly. With -index the re-identification analysis
+// runs continuously and the report prints at stop — the live wiretap
+// and the retained log fused into one view:
+//
+//	sbanalyze -follow /var/log/sb-probes -index urls.txt
+//	sbanalyze -follow /var/log/sb-probes -client victim-cookie
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"sbprivacy/internal/blacklist"
@@ -46,11 +59,19 @@ func run() int {
 		scale     = flag.Int("scale", 100, "scale divisor")
 		seed      = flag.Int64("seed", 2015, "generation seed")
 		storeDir  = flag.String("probe-store", "", "replay a persisted probe log from this directory instead of auditing blacklists")
+		followDir = flag.String("follow", "", "tail a live probe-store directory, streaming probes until SIGINT")
 		indexFile = flag.String("index", "", "file of URLs (one per line) forming the provider's web index for re-identification")
-		client    = flag.String("client", "", "print the probe history of one client cookie (replay mode)")
+		client    = flag.String("client", "", "print the probe history of one client cookie (replay/follow mode)")
 	)
 	flag.Parse()
 
+	if *followDir != "" && *storeDir != "" {
+		fmt.Fprintln(os.Stderr, "sbanalyze: -probe-store and -follow are mutually exclusive")
+		return 2
+	}
+	if *followDir != "" {
+		return runFollow(*followDir, *indexFile, *client)
+	}
 	if *storeDir != "" {
 		return runReplay(*storeDir, *indexFile, *client)
 	}
@@ -154,16 +175,11 @@ func runReplay(dir, indexFile, client string) int {
 	fmt.Fprintf(w, "total\t%d\t\n", records)
 
 	if client != "" {
-		// One-shot query: a filtered streaming replay answers it in one
-		// sequential pass with no resident index. (Store.ClientHistory
-		// and its per-client index serve repeated library queries.)
-		var history []sbserver.Probe
-		if err := store.Replay(func(p sbserver.Probe) error {
-			if p.ClientID == client {
-				history = append(history, p)
-			}
-			return nil
-		}); err != nil {
+		// ClientHistory consults the per-segment bloom sidecars, so the
+		// query opens only segments that may contain the cookie instead
+		// of streaming the whole store.
+		history, err := store.ClientHistory(client)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
 			return 1
 		}
@@ -206,6 +222,64 @@ func runReplay(dir, indexFile, client string) int {
 		fmt.Fprintf(w, "distinct clients\t%d\t\n", len(seen))
 		fmt.Fprintln(w, "\n(pass -index urls.txt to run the re-identification analysis,")
 		fmt.Fprintln(w, " or -client COOKIE to dump one client's history)")
+	}
+	return 0
+}
+
+// runFollow is the -follow mode: open the live store read-only and
+// tail it until a signal. Without -index or -client every probe is
+// printed as it lands on disk; -client restricts the stream to one
+// cookie; -index feeds the re-identification analyzer continuously and
+// prints its report when the tail stops.
+func runFollow(dir, indexFile, client string) int {
+	store, err := probestore.Open(dir, probestore.ReadOnly())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var analyzer *core.Analyzer
+	if indexFile != "" {
+		index, n, err := loadIndex(indexFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbanalyze: load index %s: %v\n", indexFile, err)
+			return 1
+		}
+		analyzer = core.NewAnalyzer(index)
+		fmt.Fprintf(os.Stderr, "sbanalyze: following %s with a %d-URL index; stop with SIGINT\n", dir, n)
+	} else {
+		fmt.Fprintf(os.Stderr, "sbanalyze: following %s; stop with SIGINT\n", dir)
+	}
+
+	probes := 0
+	err = store.Follow(ctx, func(p sbserver.Probe) error {
+		probes++
+		if analyzer != nil {
+			analyzer.Observe(p)
+		}
+		// Per-probe lines stream for a plain tail and for a -client
+		// watch (which composes with -index, like replay mode); an
+		// -index-only run stays quiet until the report.
+		if client != "" && p.ClientID != client {
+			return nil
+		}
+		if analyzer == nil || client != "" {
+			fmt.Printf("%s\t%s\t%v\n",
+				p.Time.UTC().Format("2006-01-02T15:04:05.000Z"), p.ClientID, p.Prefixes)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbanalyze: follow: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "sbanalyze: tail stopped after %d probes\n", probes)
+	if analyzer != nil {
+		rep := analyzer.Report()
+		fmt.Printf("\n== re-identification over the followed stream (%d clients) ==\n", len(rep.Clients))
+		fmt.Print(rep)
 	}
 	return 0
 }

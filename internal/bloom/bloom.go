@@ -124,6 +124,64 @@ func (f *Filter) EstimatedFalsePositiveRate() float64 {
 	return math.Pow(1-math.Exp(exp), float64(f.k))
 }
 
+// marshalMaxBits bounds the filter size UnmarshalBinary accepts, so a
+// corrupt size field cannot force a giant allocation. 1 Gib of filter
+// (~128 MiB) is far beyond any filter this package produces.
+const marshalMaxBits = 1 << 30
+
+// ErrBadEncoding reports a malformed serialized filter.
+var ErrBadEncoding = errors.New("bloom: malformed filter encoding")
+
+// MarshalBinary serializes the filter: uvarint size in bits, uvarint
+// hash count, uvarint element count, then the bit array as little-endian
+// 64-bit words. The hash functions are deterministic (FNV), so a filter
+// unmarshaled in another process answers Contains identically.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 3*binary.MaxVarintLen64+len(f.bits)*8)
+	buf = binary.AppendUvarint(buf, f.mBits)
+	buf = binary.AppendUvarint(buf, uint64(f.k))
+	buf = binary.AppendUvarint(buf, uint64(f.n))
+	for _, w := range f.bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary reconstructs a filter serialized by MarshalBinary.
+// Every length is validated against the input, so truncated or corrupt
+// data returns ErrBadEncoding instead of a panic or a huge allocation.
+func UnmarshalBinary(data []byte) (*Filter, error) {
+	mBits, n := binary.Uvarint(data)
+	if n <= 0 || mBits == 0 || mBits > marshalMaxBits {
+		return nil, fmt.Errorf("%w: bad size", ErrBadEncoding)
+	}
+	data = data[n:]
+	k, n := binary.Uvarint(data)
+	if n <= 0 || k < 1 || k > 64 {
+		return nil, fmt.Errorf("%w: bad hash count", ErrBadEncoding)
+	}
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 || count > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: bad element count", ErrBadEncoding)
+	}
+	data = data[n:]
+	words := int((mBits + 63) / 64)
+	if len(data) != words*8 {
+		return nil, fmt.Errorf("%w: bit array is %d bytes, want %d", ErrBadEncoding, len(data), words*8)
+	}
+	f := &Filter{
+		bits:  make([]uint64, words),
+		mBits: mBits,
+		k:     int(k),
+		n:     int(count),
+	}
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return f, nil
+}
+
 // hashPair derives two independent 64-bit hashes for double hashing.
 func (f *Filter) hashPair(item []byte) (uint64, uint64) {
 	h := fnv.New128a()

@@ -1,0 +1,69 @@
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f, err := NewWithEstimate(1000, 0.01)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		f.Insert([]byte(fmt.Sprintf("cookie-%d", i)))
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	g, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if g.Len() != f.Len() || g.K() != f.K() || g.SizeBytes() != f.SizeBytes() {
+		t.Fatalf("shape mismatch: got (%d,%d,%d), want (%d,%d,%d)",
+			g.Len(), g.K(), g.SizeBytes(), f.Len(), f.K(), f.SizeBytes())
+	}
+	// Membership answers must be identical across the round trip — the
+	// property the probe-store sidecars depend on.
+	for i := 0; i < 2000; i++ {
+		item := []byte(fmt.Sprintf("cookie-%d", i))
+		if f.Contains(item) != g.Contains(item) {
+			t.Fatalf("Contains(%s) diverges after round trip", item)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if !g.Contains([]byte(fmt.Sprintf("cookie-%d", i))) {
+			t.Fatalf("false negative after round trip at %d", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	f, err := New(512, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	f.Insert([]byte("x"))
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"truncated":    data[:len(data)-1],
+		"extended":     append(append([]byte(nil), data...), 0),
+		"zero size":    {0x00, 0x03, 0x01},
+		"huge size":    {0xff, 0xff, 0xff, 0xff, 0xff, 0x7f, 0x03, 0x01},
+		"bad k":        {0x40, 0x00, 0x01},
+		"oversized k":  {0x40, 0x7f, 0x01},
+		"short header": data[:1],
+	}
+	for name, in := range cases {
+		if _, err := UnmarshalBinary(in); !errors.Is(err, ErrBadEncoding) {
+			t.Errorf("%s: UnmarshalBinary = %v, want ErrBadEncoding", name, err)
+		}
+	}
+}

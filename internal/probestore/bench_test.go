@@ -99,6 +99,68 @@ func BenchmarkStoreReplay(b *testing.B) {
 	b.ReportMetric(float64(n), "probes/replay")
 }
 
+// BenchmarkClientHistorySparse measures the sidecar payoff: a client
+// that appears in one segment out of many is reconstructed by opening
+// only the bloom-matching segments. opens/op and skips/op make the
+// scaling visible — opens stay near 1 while the store holds dozens of
+// segments; without the sidecars every query would scan all of them.
+func BenchmarkClientHistorySparse(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, WithMaxSegmentBytes(16<<10))
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	// Two probes from the sparse client, then bulk traffic spreading
+	// over many more segments.
+	base := time.Unix(1457_000_000, 0)
+	s.Observe(sbserver.Probe{Time: base, ClientID: "sparse-client",
+		Prefixes: []hashx.Prefix{1, 2}})
+	s.Observe(sbserver.Probe{Time: base, ClientID: "sparse-client",
+		Prefixes: []hashx.Prefix{3}})
+	for i := 0; i < 50_000; i++ {
+		s.Observe(sbserver.Probe{
+			Time:     base.Add(time.Duration(i) * time.Microsecond),
+			ClientID: fmt.Sprintf("bulk-client-%02d", i%64),
+			Prefixes: []hashx.Prefix{hashx.Prefix(i)},
+		})
+	}
+	if err := s.Close(); err != nil {
+		b.Fatalf("Close: %v", err)
+	}
+	r, err := Open(dir, ReadOnly())
+	if err != nil {
+		b.Fatalf("Open read-only: %v", err)
+	}
+	segments := len(r.Segments())
+	if segments < 20 {
+		b.Fatalf("only %d segments; the sparse scaling needs many", segments)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist, err := r.ClientHistory("sparse-client")
+		if err != nil {
+			b.Fatalf("ClientHistory: %v", err)
+		}
+		if len(hist) != 2 {
+			b.Fatalf("history has %d probes, want 2", len(hist))
+		}
+	}
+	b.StopTimer()
+	st := r.Stats()
+	opensPerOp := float64(st.SegmentOpens) / float64(b.N)
+	b.ReportMetric(float64(segments), "segments")
+	b.ReportMetric(opensPerOp, "opens/op")
+	b.ReportMetric(float64(st.BloomSkips)/float64(b.N), "skips/op")
+	// The acceptance bound: opens scale with bloom hits, not segment
+	// count. Steady state is 1 open per query (the matching segment's
+	// record read); the first iteration adds its lazy index builds.
+	if opensPerOp > float64(segments)/4 {
+		b.Fatalf("opens/op = %.1f across %d segments: bloom skipping is not engaged", opensPerOp, segments)
+	}
+}
+
 func probeBench(i int) sbserver.Probe {
 	return sbserver.Probe{
 		Time:     time.Unix(1457_000_000, int64(i)),

@@ -1,0 +1,230 @@
+package probestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/wire"
+)
+
+// appendEncodedProbe appends p's wire encoding to dst.
+func appendEncodedProbe(t *testing.T, dst []byte, p sbserver.Probe) []byte {
+	t.Helper()
+	rec := wire.ProbeRecord{UnixNano: p.Time.UnixNano(), ClientID: p.ClientID, Prefixes: p.Prefixes}
+	out, err := wire.AppendProbeRecord(dst, &rec)
+	if err != nil {
+		t.Fatalf("AppendProbeRecord: %v", err)
+	}
+	return out
+}
+
+// appendRaw appends raw bytes to a file, simulating a writer's partial
+// spill.
+func appendRaw(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFollowDeliversLiveAppends is the core tail scenario: a follower
+// attached to an empty live directory sees every probe the writer
+// spills afterwards — across segment rotations — exactly once and in
+// per-client order, and stops cleanly on context cancellation.
+func TestFollowDeliversLiveAppends(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, WithMaxSegmentBytes(1024), WithSpillThreshold(1))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close() //nolint:errcheck // test cleanup
+
+	r := mustReadOnly(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	var got []sbserver.Probe
+	followErr := make(chan error, 1)
+	go func() {
+		followErr <- r.Follow(ctx, func(p sbserver.Probe) error {
+			mu.Lock()
+			got = append(got, p)
+			mu.Unlock()
+			return nil
+		}, WithFollowPoll(time.Millisecond))
+	}()
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got)
+	}
+
+	// First burst: written entirely after the tail started.
+	const burst = 120
+	for i := 0; i < burst; i++ {
+		w.Observe(probe(fmt.Sprintf("client-%d", i%3), i))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	waitFor(t, "first burst", func() bool { return count() == burst })
+
+	// Second burst proves the tail keeps up with further rotations.
+	for i := burst; i < 2*burst; i++ {
+		w.Observe(probe(fmt.Sprintf("client-%d", i%3), i))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	waitFor(t, "second burst", func() bool { return count() == 2*burst })
+	if len(w.Segments()) < 2 {
+		t.Fatalf("workload fit in one segment; rotation untested")
+	}
+
+	cancel()
+	if err := <-followErr; err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	// Exactly once, per-client FIFO.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2*burst {
+		t.Fatalf("followed %d probes, want %d", len(got), 2*burst)
+	}
+	last := make(map[string]int)
+	seen := make(map[int]bool)
+	for _, p := range got {
+		i := int(p.Prefixes[0])
+		if seen[i] {
+			t.Fatalf("probe %d delivered twice", i)
+		}
+		seen[i] = true
+		if prev, ok := last[p.ClientID]; ok && i < prev {
+			t.Fatalf("client %s out of order: %d after %d", p.ClientID, i, prev)
+		}
+		last[p.ClientID] = i
+	}
+}
+
+// TestFollowDeliversPreexistingHistoryFirst: the tail starts from the
+// oldest live segment, so a late-attached follower still reconstructs
+// the full retained history before streaming new probes.
+func TestFollowDeliversPreexistingHistoryFirst(t *testing.T) {
+	dir := t.TempDir()
+	const n = 50
+	writeProbes(t, dir, n, WithMaxSegmentBytes(1024), WithSpillThreshold(1))
+
+	r := mustReadOnly(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var count atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Follow(ctx, func(p sbserver.Probe) error {
+			count.Add(1)
+			return nil
+		}, WithFollowPoll(time.Millisecond))
+	}()
+	waitFor(t, "preexisting history", func() bool { return count.Load() == n })
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+}
+
+// TestFollowRequiresReadOnly: the writer side must not tail itself.
+func TestFollowRequiresReadOnly(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close() //nolint:errcheck // test cleanup
+	err = s.Follow(context.Background(), func(sbserver.Probe) error { return nil })
+	if !errors.Is(err, ErrFollowWritable) {
+		t.Errorf("Follow on writable store = %v, want ErrFollowWritable", err)
+	}
+}
+
+// TestFollowStopsOnSinkError: an error from fn aborts the tail and is
+// returned as-is.
+func TestFollowStopsOnSinkError(t *testing.T) {
+	dir := t.TempDir()
+	writeProbes(t, dir, 5)
+	r := mustReadOnly(t, dir)
+	boom := errors.New("sink exploded")
+	err := r.Follow(context.Background(), func(sbserver.Probe) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("Follow = %v, want the sink's error", err)
+	}
+}
+
+// TestFollowToleratesTornTail: a probe half-written at poll time (the
+// mid-spill state a tail reader routinely observes) is delivered once
+// the writer completes it, never as a decode error.
+func TestFollowToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, WithSpillThreshold(1))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close() //nolint:errcheck // test cleanup
+	w.Observe(probe("c", 0))
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// Simulate the torn moment by hand: append half of an encoded
+	// record to the live segment, let the follower observe it, then
+	// complete the record.
+	segs := w.Segments()
+	tail := segs[len(segs)-1]
+	full := appendEncodedProbe(t, nil, probe("c", 1))
+	half := full[:len(full)/2]
+	appendRaw(t, tail.Path, half)
+
+	r := mustReadOnly(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var count atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Follow(ctx, func(p sbserver.Probe) error {
+			count.Add(1)
+			return nil
+		}, WithFollowPoll(time.Millisecond))
+	}()
+	waitFor(t, "complete record", func() bool { return count.Load() == 1 })
+	appendRaw(t, tail.Path, full[len(half):])
+	waitFor(t, "completed torn record", func() bool { return count.Load() == 2 })
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package probestore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sbprivacy/internal/sbserver"
+)
+
+// TestReadOnlyReaderRacesWriterRetention hammers the live-store
+// protocol from both sides: a writer spilling and evicting segments at
+// full speed while read-only opens, Replays, ClientHistory queries and
+// a Follow tail run against the same directory. Every fs.ErrNotExist
+// skip path — recovery scan, sidecar stat, lazy index build, record
+// read, tail drain — gets hit; under -race this also checks the
+// store's internal locking. The assertion is simply that no reader
+// ever surfaces an error: losing records to retention is expected,
+// failing on it is not.
+func TestReadOnlyReaderRacesWriterRetention(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir,
+		WithMaxSegmentBytes(512),
+		WithSpillThreshold(1),
+		WithRetainSegments(3),
+	)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w.Observe(probe(fmt.Sprintf("client-%d", i%5), i))
+		}
+	}()
+
+	// A long-lived follower rides through evictions.
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	follower := mustReadOnly(t, dir)
+	var followed atomic.Int64
+	followDone := make(chan error, 1)
+	go func() {
+		followDone <- follower.Follow(fctx, func(p sbserver.Probe) error {
+			followed.Add(1)
+			return nil
+		}, WithFollowPoll(time.Millisecond))
+	}()
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	if testing.Short() {
+		deadline = time.Now().Add(200 * time.Millisecond)
+	}
+	for time.Now().Before(deadline) {
+		// Fresh read-only opens race the recovery scan against eviction.
+		r := mustReadOnly(t, dir)
+		count := 0
+		if err := r.Replay(func(p sbserver.Probe) error {
+			count++
+			return nil
+		}); err != nil {
+			t.Fatalf("Replay during retention: %v", err)
+		}
+		for c := 0; c < 5; c++ {
+			if _, err := r.ClientHistory(fmt.Sprintf("client-%d", c)); err != nil {
+				t.Fatalf("ClientHistory during retention: %v", err)
+			}
+		}
+		if _, err := r.Clients(); err != nil {
+			t.Fatalf("Clients during retention: %v", err)
+		}
+	}
+
+	close(stop)
+	writerDone.Wait()
+	fcancel()
+	if err := <-followDone; err != nil {
+		t.Fatalf("Follow during retention: %v", err)
+	}
+	if followed.Load() == 0 {
+		t.Error("follower saw nothing")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := w.Stats()
+	if st.EvictedSegments == 0 {
+		t.Errorf("retention never kicked in: %+v", st)
+	}
+	if st.WriteErrors != 0 {
+		t.Errorf("writer hit errors: %+v", st)
+	}
+}

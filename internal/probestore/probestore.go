@@ -24,6 +24,16 @@
 // retention (WithRetainSegments / WithRetainBytes) a whole-file delete
 // of the oldest segment — no compaction, no rewrite.
 //
+// Sealed segments carry an index sidecar (seg-NNNNNNNN.pidx, the
+// wire.MsgProbeIndex format): the segment's record count, byte extent,
+// and a Bloom filter of its client cookies. Open loads sidecars instead
+// of scanning segment files, and ClientHistory consults the per-segment
+// filters to open only segments that may contain the queried cookie —
+// the "history of client X" query costs one file open per bloom hit,
+// not one scan per live segment. Sidecars are advisory: a missing, torn
+// or stale sidecar (and a live writer's still-growing tail segment,
+// which never has one) falls back to a full scan of that segment.
+//
 // Per-client order is preserved: probes from one cookie land in one
 // stripe and spill in arrival order, so Replay and ClientHistory see
 // each client's history FIFO — the property the tracking and temporal
@@ -31,15 +41,14 @@
 // spill order, not arrival order; records carry timestamps for
 // analyses that need a global order.
 //
-// Memory model: the probes themselves live on disk, but a writable
-// store's per-client index keeps roughly 24 bytes of bookkeeping per
-// live record in memory. Retention prunes index entries along with
-// their segments, so the resident set is bounded by the retention
-// limits; a store opened with no retention grows its index (and disk)
-// without bound — size WithRetainSegments/WithRetainBytes accordingly
-// for long-running servers. A read-only store defers the index until
-// the first Clients/ClientHistory call, so pure Replay streams with no
-// per-record memory at all.
+// Memory model: the probes themselves live on disk. A writable store
+// keeps roughly 24 bytes of bookkeeping per record of the segments it
+// wrote in this run (pruned with retention); segments recovered from
+// sidecars cost only their Bloom filter until a client query touches
+// them, at which point that segment's index is built lazily and cached.
+// A read-only store defers all indexing until the first Clients or
+// ClientHistory call, so pure Replay streams with no per-record memory
+// at all.
 package probestore
 
 import (
@@ -70,6 +79,11 @@ const (
 // the probe pipeline's maximum stripe count so concurrent drainer
 // goroutines rarely contend on one buffer.
 const storeStripes = 16
+
+// sidecarFPRate is the target false-positive rate of a segment's
+// client-cookie Bloom filter: 1% of unrelated history queries pay one
+// wasted segment scan, in exchange for ~10 bits of sidecar per cookie.
+const sidecarFPRate = 0.01
 
 // ErrClosed reports an operation on a closed store.
 var ErrClosed = errors.New("probestore: store is closed")
@@ -114,6 +128,15 @@ type Stats struct {
 	Dropped uint64
 	// TruncatedBytes counts torn-tail bytes discarded during recovery.
 	TruncatedBytes int64
+	// SegmentOpens counts segment files opened by client-history
+	// queries. With bloom sidecars this scales with the number of
+	// segments that may contain the client, not with the live segment
+	// count — the property BenchmarkClientHistorySparse measures.
+	SegmentOpens uint64
+	// BloomSkips counts segments a client-history query skipped without
+	// opening because the segment's cookie filter (or exact client set)
+	// ruled the client out.
+	BloomSkips uint64
 }
 
 // Option configures Open.
@@ -145,8 +168,8 @@ func WithSpillThreshold(n int) Option {
 
 // WithRetainSegments bounds the store to the newest n segment files;
 // older segments are deleted at rotation and at Open. Zero keeps
-// everything — disk use and the in-memory per-client index then grow
-// with traffic (see the package comment's memory model).
+// everything — disk use then grows with traffic (see the package
+// comment's memory model).
 func WithRetainSegments(n int) Option {
 	return func(c *config) { c.retainSegments = n }
 }
@@ -161,21 +184,21 @@ func WithRetainBytes(n int64) Option {
 // ReadOnly opens the store for replay only: the directory must exist,
 // nothing is created, truncated or deleted, and Observe is rejected. A
 // torn tail is skipped instead of repaired. This is the mode for
-// analyzing a log directory offline (cmd/sbanalyze -probe-store).
+// analyzing a log directory offline (cmd/sbanalyze -probe-store) or
+// tailing a live one (Follow, cmd/sbanalyze -follow).
 func ReadOnly() Option {
 	return func(c *config) { c.readOnly = true }
 }
 
-// recordRef locates one persisted record: segment id, byte offset of
-// its frame, and frame length.
+// recordRef locates one persisted record inside its segment: byte
+// offset of its frame and frame length.
 type recordRef struct {
-	seg uint64
 	off int64
 	n   int32
 }
 
 // stripeBuf is one buffer lane. pending mirrors the encoded records in
-// buf so a spill can extend the client index with exact disk offsets.
+// buf so a spill can extend the segment index with exact disk offsets.
 type stripeBuf struct {
 	mu      sync.Mutex
 	buf     []byte
@@ -201,18 +224,15 @@ type Store struct {
 	// lock holds the directory's single-writer flock (nil read-only).
 	lock *os.File
 
-	// mu guards the writer state below and the client index.
+	// mu guards the writer state below and every segmentInfo's mutable
+	// fields (index, clients, missing, bytes, records).
 	mu       sync.Mutex
 	cur      *os.File
 	curID    uint64
 	curSize  int64
-	segments []segmentInfo // live segments in id order, including current
-	index    map[string][]recordRef
-	// indexReady is false on a read-only store until the first client
-	// query: pure replay never pays the index's memory.
-	indexReady bool
-	closed     bool
-	writeErr   error
+	segments []*segmentInfo // live segments in id order, including current
+	closed   bool
+	writeErr error
 
 	// closedFlag mirrors closed for the lock-free fast path in Observe.
 	closedFlag atomic.Bool
@@ -224,14 +244,17 @@ type Store struct {
 	evictedRecords  uint64
 	writeErrors     atomic.Uint64
 	truncatedBytes  int64
+	segmentOpens    atomic.Uint64
+	bloomSkips      atomic.Uint64
 }
 
 var _ sbserver.ProbeSink = (*Store)(nil)
 
 // Open opens (or creates) a probe store rooted at dir, recovering from
-// a previous run: existing segments are scanned to rebuild the client
-// index, and a torn final record — the signature of a crash mid-write —
-// is truncated away so the file ends at the last complete record.
+// a previous run. Sealed segments with a valid index sidecar are
+// adopted without reading their records; the rest are scanned, and a
+// torn final record — the signature of a crash mid-write — is truncated
+// away so the file ends at the last complete record.
 func Open(dir string, opts ...Option) (*Store, error) {
 	cfg := config{
 		maxSegmentBytes: DefaultMaxSegmentBytes,
@@ -255,7 +278,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if cfg.failureCap < 1<<20 {
 		cfg.failureCap = 1 << 20
 	}
-	s := &Store{dir: dir, cfg: cfg, index: make(map[string][]recordRef)}
+	s := &Store{dir: dir, cfg: cfg}
 	if !cfg.readOnly {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("probestore: %w", err)
@@ -274,36 +297,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		s.releaseLock()
 		return nil, err
 	}
-	s.indexReady = !cfg.readOnly
 	return s, nil
-}
-
-// ensureIndex builds the per-client index of a read-only store on
-// first use; writable stores maintain it incrementally from Open.
-func (s *Store) ensureIndex() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.indexReady {
-		return nil
-	}
-	for i := range s.segments {
-		seg := &s.segments[i]
-		_, _, err := walkSegment(segmentPath(s.dir, seg.id), seg.id,
-			func(rec *wire.ProbeRecord, off int64, n int) error {
-				s.index[rec.ClientID] = append(s.index[rec.ClientID], recordRef{
-					seg: seg.id, off: off, n: int32(n),
-				})
-				return nil
-			})
-		if errors.Is(err, fs.ErrNotExist) {
-			continue // a live writer's retention evicted it; skip like Replay
-		}
-		if err != nil {
-			return err
-		}
-	}
-	s.indexReady = true
-	return nil
 }
 
 // releaseLock drops the single-writer lock, if held.
@@ -324,6 +318,12 @@ func (s *Store) Dir() string { return s.dir }
 // buffer reaches the spill threshold. Encoding or disk errors cannot be
 // returned here (the sink interface has no error path); they increment
 // Stats.WriteErrors and surface from the next Flush or Close.
+//
+// Probes exceeding the wire-format limits cannot arrive here from a
+// compliant server: the HTTP decoder enforces the limits, and
+// sbserver.FullHashes rejects oversized LocalTransport requests before
+// any sink observes them. Should one arrive anyway, the encoder refuses
+// it and the loss is counted as a write error.
 func (s *Store) Observe(p sbserver.Probe) {
 	s.received.Add(1)
 	if s.cfg.readOnly {
@@ -334,19 +334,6 @@ func (s *Store) Observe(p sbserver.Probe) {
 		UnixNano: p.Time.UnixNano(),
 		ClientID: p.ClientID,
 		Prefixes: p.Prefixes,
-	}
-	// Probes arriving via LocalTransport never crossed the wire
-	// decoder, so its limits were not enforced. Clamp rather than drop:
-	// a truncated record still feeds the replayed analysis (a silently
-	// missing client would diverge from the live report); the clamp is
-	// counted as a write-error event so it is not invisible.
-	if len(rec.ClientID) > wire.MaxProbeClientIDBytes {
-		rec.ClientID = rec.ClientID[:wire.MaxProbeClientIDBytes]
-		s.noteErr(fmt.Errorf("probestore: client id truncated to %d bytes", wire.MaxProbeClientIDBytes))
-	}
-	if len(rec.Prefixes) > wire.MaxProbePrefixes {
-		rec.Prefixes = rec.Prefixes[:wire.MaxProbePrefixes]
-		s.noteErr(fmt.Errorf("probestore: prefix set truncated to %d", wire.MaxProbePrefixes))
 	}
 	st := &s.stripes[stripeFor(p.ClientID)]
 	st.mu.Lock()
@@ -366,9 +353,6 @@ func (s *Store) Observe(p sbserver.Probe) {
 		return
 	}
 	st.buf = buf
-	// Index under rec.ClientID (the possibly-clamped id actually on
-	// disk), so ClientHistory answers identically before and after a
-	// restart rebuilds the index from the files.
 	st.pending = append(st.pending, pendingRec{
 		client: rec.ClientID, off: off, n: len(buf) - off,
 	})
@@ -451,12 +435,12 @@ func (s *Store) spillLocked(st *stripeBuf) error {
 		return fmt.Errorf("probestore: write segment %d: %w", s.curID, err)
 	}
 	s.curSize += int64(len(st.buf))
-	seg := &s.segments[len(s.segments)-1]
+	seg := s.segments[len(s.segments)-1]
 	seg.bytes = s.curSize
 	seg.records += len(st.pending)
 	for _, pr := range st.pending {
-		s.index[pr.client] = append(s.index[pr.client], recordRef{
-			seg: s.curID, off: base + int64(pr.off), n: int32(pr.n),
+		seg.index[pr.client] = append(seg.index[pr.client], recordRef{
+			off: base + int64(pr.off), n: int32(pr.n),
 		})
 		seg.clients[pr.client] = true
 	}
@@ -466,10 +450,11 @@ func (s *Store) spillLocked(st *stripeBuf) error {
 	return nil
 }
 
-// rotateLocked closes the current segment (if any), opens the next
-// one, and then applies retention — after the append, so the live set
-// (current segment included) respects the limits at rest, not just
-// between rotations. The caller holds s.mu.
+// rotateLocked seals the current segment (if any) — sync, close, and
+// write its index sidecar — opens the next one, and then applies
+// retention: after the append, so the live set (current segment
+// included) respects the limits at rest, not just between rotations.
+// The caller holds s.mu.
 func (s *Store) rotateLocked() error {
 	if s.cur != nil {
 		if err := s.cur.Sync(); err != nil {
@@ -479,6 +464,15 @@ func (s *Store) rotateLocked() error {
 			return fmt.Errorf("probestore: close segment %d: %w", s.curID, err)
 		}
 		s.cur = nil
+		// The sidecar is an optimization, not a durability promise: a
+		// failed write is noted and the sealed segment simply costs a
+		// scan on the next Open.
+		if err := s.writeSidecarLocked(s.segments[len(s.segments)-1]); err != nil {
+			s.writeErrors.Add(1)
+			if s.writeErr == nil {
+				s.writeErr = err
+			}
+		}
 	}
 	id := uint64(1)
 	if n := len(s.segments); n > 0 {
@@ -501,16 +495,19 @@ func (s *Store) rotateLocked() error {
 	s.cur = f
 	s.curID = id
 	s.curSize = wire.SegmentHeaderSize
-	s.segments = append(s.segments, segmentInfo{
-		id: id, bytes: s.curSize, clients: make(map[string]bool),
+	s.segments = append(s.segments, &segmentInfo{
+		id:      id,
+		bytes:   s.curSize,
+		clients: make(map[string]bool),
+		index:   make(map[string][]recordRef),
 	})
 	s.pruneLocked()
 	return nil
 }
 
 // pruneLocked applies the retention limits by deleting the oldest
-// closed segments. The current (still-open) segment is never deleted.
-// The caller holds s.mu.
+// closed segments (and their sidecars). The current (still-open)
+// segment is never deleted. The caller holds s.mu.
 func (s *Store) pruneLocked() {
 	if s.cfg.retainSegments <= 0 && s.cfg.retainBytes <= 0 {
 		return
@@ -531,8 +528,6 @@ func (s *Store) pruneLocked() {
 		}
 		return false
 	}
-	pruned := make(map[uint64]bool)
-	touched := make(map[string]bool)
 	for over() {
 		oldest := s.segments[0]
 		if err := os.Remove(segmentPath(s.dir, oldest.id)); err != nil && !os.IsNotExist(err) {
@@ -540,34 +535,12 @@ func (s *Store) pruneLocked() {
 			if s.writeErr == nil {
 				s.writeErr = fmt.Errorf("probestore: prune segment %d: %w", oldest.id, err)
 			}
-			break // still clean the index for segments already removed
+			return
 		}
+		os.Remove(sidecarPath(s.dir, oldest.id)) //nolint:errcheck // best effort; orphans are tidied at Open
 		s.segments = s.segments[1:]
 		s.evictedSegments++
 		s.evictedRecords += uint64(oldest.records)
-		pruned[oldest.id] = true
-		for c := range oldest.clients {
-			touched[c] = true
-		}
-	}
-	if len(pruned) == 0 {
-		return
-	}
-	// Only clients with records in the pruned segments need their ref
-	// lists trimmed — rotation-time cost scales with the evicted
-	// segment, not with the whole index. Refs are appended in ascending
-	// segment order, so the evicted ones form a prefix.
-	for client := range touched {
-		refs := s.index[client]
-		i := 0
-		for i < len(refs) && pruned[refs[i].seg] {
-			i++
-		}
-		if i == len(refs) {
-			delete(s.index, client)
-		} else if i > 0 {
-			s.index[client] = append(refs[:0], refs[i:]...)
-		}
 	}
 }
 
@@ -594,17 +567,15 @@ func (s *Store) spillAll() error {
 
 // Flush spills every stripe buffer to disk and syncs the current
 // segment, so all probes observed before the call are durable. It
-// returns the first write error since the previous Flush, if any.
-//
-// Callers synchronizing with a live server must barrier the server
-// first: server.Flush() guarantees the pipeline has delivered every
-// probe to the store, then store.Flush() guarantees the store has
-// persisted them.
+// returns the first write error since the previous Flush, if any —
+// including on a read-only store, where the only possible write errors
+// are the misdirected Observes noted as ErrReadOnly (a read-only store
+// has nothing to spill, but swallowing its noted errors would break the
+// "first error since the last Flush" contract).
 func (s *Store) Flush() error {
-	if s.cfg.readOnly {
-		return nil
+	if !s.cfg.readOnly {
+		s.spillAll() //nolint:errcheck // folded into writeErr below
 	}
-	s.spillAll() //nolint:errcheck // folded into writeErr below
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cur != nil {
@@ -620,8 +591,9 @@ func (s *Store) Flush() error {
 	return err
 }
 
-// Close flushes and closes the store. Probes observed after Close are
-// counted as write errors and dropped.
+// Close flushes and closes the store, sealing the final segment with
+// its index sidecar. Probes observed after Close are counted as write
+// errors and dropped.
 func (s *Store) Close() error {
 	// Reject new probes first, then sweep: an Observe racing Close
 	// either appended before the sweep reaches its stripe (persisted)
@@ -639,6 +611,15 @@ func (s *Store) Close() error {
 			err = fmt.Errorf("probestore: close segment %d: %w", s.curID, cerr)
 		}
 		s.cur = nil
+		// Seal the tail so a later read-only Open scans nothing. A
+		// future writable Open that reopens this segment for appending
+		// deletes the sidecar again.
+		if serr := s.writeSidecarLocked(s.segments[len(s.segments)-1]); serr != nil {
+			s.writeErrors.Add(1)
+			if err == nil {
+				err = serr
+			}
+		}
 	}
 	s.releaseLock()
 	return err
@@ -657,6 +638,8 @@ func (s *Store) Stats() Stats {
 		WriteErrors:     s.writeErrors.Load(),
 		Dropped:         s.dropped.Load(),
 		TruncatedBytes:  s.truncatedBytes,
+		SegmentOpens:    s.segmentOpens.Load(),
+		BloomSkips:      s.bloomSkips.Load(),
 	}
 	for _, seg := range s.segments {
 		st.LiveBytes += seg.bytes
@@ -674,6 +657,9 @@ type SegmentInfo struct {
 	Bytes int64
 	// Records is the number of complete records in the segment.
 	Records int
+	// HasSidecar reports whether the segment's metadata came from (or
+	// has been written to) an index sidecar.
+	HasSidecar bool
 }
 
 // Segments returns the live segments in id order (oldest first).
@@ -683,10 +669,11 @@ func (s *Store) Segments() []SegmentInfo {
 	out := make([]SegmentInfo, len(s.segments))
 	for i, seg := range s.segments {
 		out[i] = SegmentInfo{
-			ID:      seg.id,
-			Path:    segmentPath(s.dir, seg.id),
-			Bytes:   seg.bytes,
-			Records: seg.records,
+			ID:         seg.id,
+			Path:       segmentPath(s.dir, seg.id),
+			Bytes:      seg.bytes,
+			Records:    seg.records,
+			HasSidecar: seg.filter != nil,
 		}
 	}
 	return out
@@ -694,23 +681,190 @@ func (s *Store) Segments() []SegmentInfo {
 
 // Clients returns every client cookie with at least one persisted
 // probe, sorted. On a writable store it spills buffered probes first
-// so they are visible (no fsync — visibility, not durability).
+// so they are visible (no fsync — visibility, not durability). This is
+// the expensive enumeration path: segments known only through a bloom
+// sidecar must be scanned to list their cookies exactly (the filter
+// cannot be enumerated), and the per-segment indexes built by those
+// scans stay cached for later ClientHistory calls.
 func (s *Store) Clients() ([]string, error) {
 	if !s.cfg.readOnly {
 		if err := s.spillAll(); err != nil {
 			return nil, err
 		}
 	}
-	if err := s.ensureIndex(); err != nil {
-		return nil, err
-	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.index))
-	for c := range s.index {
+	segs := append([]*segmentInfo(nil), s.segments...)
+	s.mu.Unlock()
+	set := make(map[string]bool)
+	for _, seg := range segs {
+		s.mu.Lock()
+		var names []string
+		known := false
+		switch {
+		case seg.missing:
+			known = true
+		case seg.clients != nil:
+			known = true
+			for c := range seg.clients {
+				names = append(names, c)
+			}
+		case seg.index != nil:
+			known = true
+			for c := range seg.index {
+				names = append(names, c)
+			}
+		}
+		s.mu.Unlock()
+		if !known {
+			idx, err := s.buildSegIndex(seg)
+			if err != nil {
+				return nil, err
+			}
+			for c := range idx {
+				names = append(names, c)
+			}
+		}
+		for _, c := range names {
+			set[c] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
 		out = append(out, c)
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
+// segMayContain reports whether a client-history query must look inside
+// the segment, consulting (in order of precision) the cached index, the
+// exact client set, and the sidecar bloom. Unknown segments — no
+// metadata at all — must be checked. The caller holds s.mu.
+func (seg *segmentInfo) mayContainLocked(clientID string) bool {
+	switch {
+	case seg.missing:
+		return false
+	case seg.index != nil:
+		return len(seg.index[clientID]) > 0
+	case seg.clients != nil:
+		return seg.clients[clientID]
+	case seg.filter != nil:
+		return seg.filter.Contains([]byte(clientID))
+	default:
+		return true
+	}
+}
+
+// buildSegIndex scans one segment and installs its per-segment index
+// (client → record refs), returning the installed map. The scan runs
+// without holding s.mu; a segment evicted by a concurrently-running
+// writer's retention is marked missing — cached, so a long history
+// costs one failed open, not one per record — and yields a nil map.
+func (s *Store) buildSegIndex(seg *segmentInfo) (map[string][]recordRef, error) {
+	s.segmentOpens.Add(1)
+	idx := make(map[string][]recordRef)
+	records := 0
+	_, _, err := walkSegment(segmentPath(s.dir, seg.id), seg.id,
+		func(rec *wire.ProbeRecord, off int64, n int) error {
+			idx[rec.ClientID] = append(idx[rec.ClientID], recordRef{off: off, n: int32(n)})
+			records++
+			return nil
+		})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if errors.Is(err, fs.ErrNotExist) {
+		seg.missing = true
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if seg.index == nil {
+		seg.index = idx
+		seg.records = records
+	}
+	return seg.index, nil
+}
+
+// ClientHistory returns every persisted probe of one client cookie in
+// arrival order — the provider's "history of client X" query. Segments
+// whose bloom sidecar (or exact client set) rules the cookie out are
+// skipped without opening the file, so the cost scales with the
+// segments that actually contain the client; only bloom false
+// positives (~1%) pay a wasted scan. On a writable store it spills the
+// stripe buffers first.
+func (s *Store) ClientHistory(clientID string) ([]sbserver.Probe, error) {
+	if !s.cfg.readOnly {
+		if err := s.spillAll(); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	segs := append([]*segmentInfo(nil), s.segments...)
+	s.mu.Unlock()
+	var out []sbserver.Probe
+	for _, seg := range segs {
+		s.mu.Lock()
+		may := seg.mayContainLocked(clientID)
+		indexed := seg.index != nil
+		var refs []recordRef
+		if may && indexed {
+			refs = append(refs, seg.index[clientID]...)
+		}
+		s.mu.Unlock()
+		if !may {
+			s.bloomSkips.Add(1)
+			continue
+		}
+		if !indexed {
+			idx, err := s.buildSegIndex(seg)
+			if err != nil {
+				return nil, err
+			}
+			refs = idx[clientID] // nil map (evicted segment) yields no refs
+		}
+		if len(refs) == 0 {
+			continue
+		}
+		var err error
+		out, err = s.readRefs(seg, refs, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// readRefs reads the referenced records from one segment file and
+// appends their probes to out. A segment evicted between indexing and
+// reading is marked missing and skipped, matching Replay's semantics.
+func (s *Store) readRefs(seg *segmentInfo, refs []recordRef, out []sbserver.Probe) ([]sbserver.Probe, error) {
+	s.segmentOpens.Add(1)
+	f, err := os.Open(segmentPath(s.dir, seg.id))
+	if os.IsNotExist(err) {
+		s.mu.Lock()
+		seg.missing = true
+		s.mu.Unlock()
+		return out, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("probestore: open segment %d: %w", seg.id, err)
+	}
+	defer f.Close() //nolint:errcheck // read-side close
+	buf := make([]byte, 0, 512)
+	for _, r := range refs {
+		if cap(buf) < int(r.n) {
+			buf = make([]byte, r.n)
+		}
+		buf = buf[:r.n]
+		if _, err := f.ReadAt(buf, r.off); err != nil {
+			return nil, fmt.Errorf("probestore: read segment %d at %d: %w", seg.id, r.off, err)
+		}
+		rec, _, err := wire.DecodeProbeRecord(buf)
+		if err != nil {
+			return nil, fmt.Errorf("probestore: segment %d at %d: %w", seg.id, r.off, err)
+		}
+		out = append(out, recordProbe(rec))
+	}
+	return out, nil
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"sbprivacy/internal/bloom"
 	"sbprivacy/internal/sbserver"
 	"sbprivacy/internal/wire"
 )
@@ -24,10 +25,21 @@ type segmentInfo struct {
 	id      uint64
 	bytes   int64 // valid bytes, header included
 	records int
-	// clients is the set of cookies with records in this segment, so
-	// retention can clean the per-client index by visiting only the
-	// affected clients instead of sweeping the whole index.
+	// clients is the exact set of cookies with records in this segment.
+	// Present for segments this process wrote or scanned; nil for
+	// segments adopted from a sidecar, where filter stands in.
 	clients map[string]bool
+	// filter is the sidecar's client-cookie Bloom filter (nil until the
+	// segment is sealed, and on scanned segments without a sidecar).
+	filter *bloom.Filter
+	// index maps client → record refs inside this segment. Maintained
+	// incrementally for the writable store's current segment; built
+	// lazily (buildSegIndex) for everything else. nil until built.
+	index map[string][]recordRef
+	// missing records that the segment file disappeared (a live
+	// writer's retention evicted it while we were reading). Cached so
+	// later queries skip the segment without retrying the open.
+	missing bool
 }
 
 // segmentPath returns the file path of segment id under dir.
@@ -55,18 +67,13 @@ func parseSegmentName(name string) (uint64, bool) {
 	return id, true
 }
 
-// recover scans the directory's segments in id order, rebuilding the
-// client index and per-segment record counts. For a writable store the
-// final segment's torn tail (a record interrupted mid-write) is
-// truncated away and the segment is reopened for appending if it has
-// room; a read-only store leaves files untouched and simply skips torn
-// tails. A decode failure that is not a clean tear is surfaced as an
-// error — that is corruption, not a crash signature, and silently
-// dropping data behind it would be worse than stopping.
-func (s *Store) recover() error {
-	entries, err := os.ReadDir(s.dir)
+// listSegmentIDs returns the ids of the segment files under dir in
+// ascending order. Shared by recovery and the Follow tail loop so both
+// agree on what a segment is.
+func listSegmentIDs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return fmt.Errorf("probestore: %w", err)
+		return nil, fmt.Errorf("probestore: %w", err)
 	}
 	var ids []uint64
 	for _, e := range entries {
@@ -75,10 +82,43 @@ func (s *Store) recover() error {
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
 
-	for _, id := range ids {
+// recover adopts the directory's segments in id order. A segment with a
+// valid index sidecar is adopted from the sidecar's metadata without
+// reading its records; the rest are scanned. For a writable store the
+// final segment's torn tail (a record interrupted mid-write) is
+// truncated away and the segment is reopened for appending if it has
+// room; a read-only store leaves files untouched and simply skips torn
+// tails. A decode failure that is not a clean tear is surfaced as an
+// error — that is corruption, not a crash signature, and silently
+// dropping data behind it would be worse than stopping.
+func (s *Store) recover() error {
+	ids, err := listSegmentIDs(s.dir)
+	if err != nil {
+		return err
+	}
+
+	for i, id := range ids {
+		last := i == len(ids)-1
+		// A writable store may append to the last segment, which needs
+		// the exact client set and index only a scan provides (and a
+		// possible torn-tail repair); any other segment is sealed and a
+		// trusted sidecar replaces its scan.
+		if seg, ok := s.loadSidecar(id); ok && !(last && !s.cfg.readOnly && seg.bytes < s.cfg.maxSegmentBytes) {
+			s.segments = append(s.segments, seg)
+			s.persisted += uint64(seg.records)
+			continue
+		}
 		seg, refs, torn, err := scanSegment(s.dir, id)
 		if err != nil {
+			if s.cfg.readOnly && errors.Is(err, fs.ErrNotExist) {
+				// A live writer's retention evicted the file between
+				// the directory listing and the scan; skip it like
+				// Replay does.
+				continue
+			}
 			return err
 		}
 		if torn > 0 {
@@ -102,18 +142,35 @@ func (s *Store) recover() error {
 				if err := os.Remove(segmentPath(s.dir, id)); err != nil {
 					return fmt.Errorf("probestore: remove empty segment %d: %w", id, err)
 				}
+				os.Remove(sidecarPath(s.dir, id)) //nolint:errcheck // best effort
 			}
 			continue
 		}
-		// A read-only store defers the index until a client query asks
-		// for it (ensureIndex), so pure replay pays no index memory.
-		if !s.cfg.readOnly {
-			seg.clients = make(map[string]bool)
+		// The scan's exact client set enables precise history skips; the
+		// refs themselves are kept only where appends will extend them
+		// (the reopened tail) — elsewhere the index is rebuilt lazily if
+		// a query ever needs it, keeping recovery memory proportional to
+		// cookies, not records.
+		seg.clients = make(map[string]bool, len(refs))
+		for _, r := range refs {
+			seg.clients[r.client] = true
+		}
+		if !s.cfg.readOnly && last && seg.bytes < s.cfg.maxSegmentBytes {
+			seg.index = make(map[string][]recordRef, len(seg.clients))
 			for _, r := range refs {
-				s.index[r.client] = append(s.index[r.client], recordRef{
-					seg: id, off: r.off, n: int32(r.n),
-				})
-				seg.clients[r.client] = true
+				seg.index[r.client] = append(seg.index[r.client], recordRef{off: r.off, n: int32(r.n)})
+			}
+		} else if !s.cfg.readOnly {
+			// Sealed but sidecar-less (an older store layout, or a
+			// crash between seal and sidecar write): backfill the
+			// sidecar so the next Open skips this scan.
+			if err := s.writeSidecarLocked(seg); err != nil {
+				s.writeErrors.Add(1)
+				s.mu.Lock()
+				if s.writeErr == nil {
+					s.writeErr = err
+				}
+				s.mu.Unlock()
 			}
 		}
 		s.segments = append(s.segments, seg)
@@ -132,12 +189,21 @@ func (s *Store) recover() error {
 			s.cur = f
 			s.curID = tail.id
 			s.curSize = tail.bytes
+			// The sidecar written at the previous Close is stale the
+			// moment we append; readers would detect the size mismatch
+			// and scan, but removing it keeps the invariant simple: a
+			// live tail has no sidecar.
+			if err := os.Remove(sidecarPath(s.dir, tail.id)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("probestore: remove stale sidecar %d: %w", tail.id, err)
+			}
+			tail.filter = nil
 		}
 	}
-	// Apply retention to the recovered set immediately: a restart with
-	// tighter limits must not wait for the next rotation (which a quiet
-	// server may never reach) to enforce them.
 	if !s.cfg.readOnly {
+		s.removeOrphanSidecars(ids)
+		// Apply retention to the recovered set immediately: a restart
+		// with tighter limits must not wait for the next rotation (which
+		// a quiet server may never reach) to enforce them.
 		s.mu.Lock()
 		s.pruneLocked()
 		s.mu.Unlock()
@@ -157,9 +223,9 @@ type scanRef struct {
 // (header plus complete records) and the count of torn trailing bytes
 // (0 when the file ends on a record boundary). A tear — at the header
 // or at a record — ends the walk silently; corruption that is not a
-// clean tear, and any error from fn, aborts with that error. Both
-// recovery and Replay walk segments through here, so their notions of
-// a segment's valid extent cannot diverge.
+// clean tear, and any error from fn, aborts with that error. Recovery,
+// Replay and the lazy index builder all walk segments through here, so
+// their notions of a segment's valid extent cannot diverge.
 func walkSegment(path string, id uint64, fn func(rec *wire.ProbeRecord, off int64, n int) error) (valid, torn int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -197,8 +263,8 @@ func walkSegment(path string, id uint64, fn func(rec *wire.ProbeRecord, off int6
 // scanSegment walks one segment file for recovery, returning the
 // segment's valid extent, the record locations for the client index,
 // and the number of torn trailing bytes.
-func scanSegment(dir string, id uint64) (segmentInfo, []scanRef, int64, error) {
-	seg := segmentInfo{id: id}
+func scanSegment(dir string, id uint64) (*segmentInfo, []scanRef, int64, error) {
+	seg := &segmentInfo{id: id}
 	var refs []scanRef
 	valid, torn, err := walkSegment(segmentPath(dir, id), id,
 		func(rec *wire.ProbeRecord, off int64, n int) error {
@@ -207,7 +273,7 @@ func scanSegment(dir string, id uint64) (segmentInfo, []scanRef, int64, error) {
 			return nil
 		})
 	if err != nil {
-		return segmentInfo{}, nil, 0, err
+		return nil, nil, 0, err
 	}
 	seg.bytes = valid
 	return seg, refs, torn, nil
@@ -238,69 +304,6 @@ func (s *Store) Replay(fn func(sbserver.Probe) error) error {
 		}
 	}
 	return nil
-}
-
-// ClientHistory returns every persisted probe of one client cookie in
-// arrival order — the provider's "history of client X" query, answered
-// from the per-client index without scanning unrelated records. On a
-// writable store it spills the stripe buffers first.
-func (s *Store) ClientHistory(clientID string) ([]sbserver.Probe, error) {
-	if !s.cfg.readOnly {
-		if err := s.spillAll(); err != nil {
-			return nil, err
-		}
-	}
-	if err := s.ensureIndex(); err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	refs := append([]recordRef(nil), s.index[clientID]...)
-	s.mu.Unlock()
-	if len(refs) == 0 {
-		return nil, nil
-	}
-	out := make([]sbserver.Probe, 0, len(refs))
-	var f *os.File
-	var fID uint64
-	defer func() {
-		if f != nil {
-			f.Close() //nolint:errcheck // read-side close
-		}
-	}()
-	buf := make([]byte, 0, 512)
-	for _, r := range refs {
-		if f == nil || fID != r.seg {
-			if f != nil {
-				f.Close() //nolint:errcheck // read-side close
-			}
-			var err error
-			f, err = os.Open(segmentPath(s.dir, r.seg))
-			if os.IsNotExist(err) {
-				// Evicted by retention after the index snapshot; the
-				// remaining refs for this segment will skip the same way.
-				f = nil
-				fID = r.seg
-				continue
-			}
-			if err != nil {
-				return nil, fmt.Errorf("probestore: open segment %d: %w", r.seg, err)
-			}
-			fID = r.seg
-		}
-		if cap(buf) < int(r.n) {
-			buf = make([]byte, r.n)
-		}
-		buf = buf[:r.n]
-		if _, err := f.ReadAt(buf, r.off); err != nil {
-			return nil, fmt.Errorf("probestore: read segment %d at %d: %w", r.seg, r.off, err)
-		}
-		rec, _, err := wire.DecodeProbeRecord(buf)
-		if err != nil {
-			return nil, fmt.Errorf("probestore: segment %d at %d: %w", r.seg, r.off, err)
-		}
-		out = append(out, recordProbe(rec))
-	}
-	return out, nil
 }
 
 // recordProbe converts a decoded wire record back into the in-memory

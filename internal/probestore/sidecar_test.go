@@ -1,0 +1,394 @@
+package probestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"sbprivacy/internal/sbserver"
+)
+
+// sidecarFiles returns the ids of the sidecar files under dir.
+func sidecarFiles(t *testing.T, dir string) map[uint64]bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	out := make(map[uint64]bool)
+	for _, e := range entries {
+		if id, ok := parseSidecarName(e.Name()); ok {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// TestSidecarSealsEverySegment: after a clean Close every live segment
+// — the rotated ones and the tail — carries an index sidecar, and a
+// read-only open adopts them without scanning a single record. The
+// no-scan property is asserted the hard way: with every segment's
+// middle corrupted, an open that scanned would fail loudly, so an open
+// that succeeds and still reports the right shape must have trusted
+// the sidecars.
+func TestSidecarSealsEverySegment(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeProbes(t, dir, 60, WithMaxSegmentBytes(512), WithSpillThreshold(1))
+	if len(segs) < 3 {
+		t.Fatalf("want several segments, got %+v", segs)
+	}
+	have := sidecarFiles(t, dir)
+	for _, seg := range segs {
+		if !have[seg.ID] {
+			t.Errorf("segment %d has no sidecar after Close", seg.ID)
+		}
+	}
+
+	// Corrupt a record-interior byte of every segment. The header and
+	// the file size stay intact, so only a record scan would notice.
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.Path)
+		if err != nil {
+			t.Fatalf("read segment: %v", err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(seg.Path, data, 0o644); err != nil {
+			t.Fatalf("corrupt segment: %v", err)
+		}
+	}
+	r := mustReadOnly(t, dir)
+	total := 0
+	for _, seg := range r.Segments() {
+		if !seg.HasSidecar {
+			t.Errorf("segment %d not adopted from its sidecar", seg.ID)
+		}
+		total += seg.Records
+	}
+	if total != 60 {
+		t.Errorf("adopted %d records from sidecars, want 60", total)
+	}
+}
+
+// TestSidecarFallbackToScan: a missing, torn, or stale sidecar demotes
+// the segment to a full scan — the data is still served correctly.
+func TestSidecarFallbackToScan(t *testing.T) {
+	for name, corrupt := range map[string]func(t *testing.T, dir string, id uint64){
+		"missing": func(t *testing.T, dir string, id uint64) {
+			if err := os.Remove(sidecarPath(dir, id)); err != nil {
+				t.Fatalf("remove sidecar: %v", err)
+			}
+		},
+		"torn": func(t *testing.T, dir string, id uint64) {
+			fi, err := os.Stat(sidecarPath(dir, id))
+			if err != nil {
+				t.Fatalf("stat sidecar: %v", err)
+			}
+			if err := os.Truncate(sidecarPath(dir, id), fi.Size()/2); err != nil {
+				t.Fatalf("truncate sidecar: %v", err)
+			}
+		},
+		"stale extent": func(t *testing.T, dir string, id uint64) {
+			// Grow the segment so its size disagrees with the sidecar:
+			// the sidecar must be ignored, and the appended garbage is
+			// a tail tear the scan tolerates.
+			f, err := os.OpenFile(segmentPath(dir, id), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatalf("open segment: %v", err)
+			}
+			if _, err := f.Write([]byte{0x01}); err != nil {
+				t.Fatalf("append garbage: %v", err)
+			}
+			f.Close() //nolint:errcheck // test write
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			const n = 40
+			segs := writeProbes(t, dir, n, WithMaxSegmentBytes(512), WithSpillThreshold(1))
+			if len(segs) < 2 {
+				t.Fatalf("want several segments, got %+v", segs)
+			}
+			corrupt(t, dir, segs[0].ID)
+			got := replayAll(t, dir)
+			if len(got) != n {
+				t.Fatalf("replayed %d probes, want %d", len(got), n)
+			}
+			hist, err := mustReadOnly(t, dir).ClientHistory("crash-client")
+			if err != nil {
+				t.Fatalf("ClientHistory: %v", err)
+			}
+			if len(hist) != n {
+				t.Fatalf("history has %d probes, want %d", len(hist), n)
+			}
+			for i, p := range hist {
+				if int(p.Prefixes[0]) != i {
+					t.Fatalf("history out of order at %d: %+v", i, p)
+				}
+			}
+		})
+	}
+}
+
+// TestSidecarBackfilledOnWritableOpen: a store whose sidecars were
+// lost (an upgrade from the scan-only layout) writes them back during
+// recovery, so the next open is scan-free again.
+func TestSidecarBackfilledOnWritableOpen(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeProbes(t, dir, 40, WithMaxSegmentBytes(512), WithSpillThreshold(1))
+	for id := range sidecarFiles(t, dir) {
+		if err := os.Remove(sidecarPath(dir, id)); err != nil {
+			t.Fatalf("remove sidecar: %v", err)
+		}
+	}
+	s, err := Open(dir, WithMaxSegmentBytes(512))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	have := sidecarFiles(t, dir)
+	for _, seg := range segs {
+		if !have[seg.ID] {
+			t.Errorf("segment %d sidecar not backfilled", seg.ID)
+		}
+	}
+}
+
+// TestSidecarRemovedWhenTailReopened: reopening a store for appending
+// invalidates the tail's seal; the stale sidecar must go, and a fresh
+// one appears at the next seal covering old and new records alike.
+func TestSidecarRemovedWhenTailReopened(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s.Observe(probe("a", 1))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !sidecarFiles(t, dir)[1] {
+		t.Fatal("tail not sealed at Close")
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if sidecarFiles(t, dir)[1] {
+		t.Error("stale sidecar survived a reopen-for-append")
+	}
+	s2.Observe(probe("b", 2))
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !sidecarFiles(t, dir)[1] {
+		t.Error("tail not resealed at second Close")
+	}
+	hist, err := mustReadOnly(t, dir).ClientHistory("b")
+	if err != nil {
+		t.Fatalf("ClientHistory: %v", err)
+	}
+	if len(hist) != 1 || hist[0].Prefixes[0] != 2 {
+		t.Errorf("history = %+v", hist)
+	}
+}
+
+// TestWritableOpenCleansSidecarDebris: orphaned sidecars (their
+// segment pruned) and .pidx.tmp leftovers (a crash mid-seal) are swept
+// at writable open.
+func TestWritableOpenCleansSidecarDebris(t *testing.T) {
+	dir := t.TempDir()
+	writeProbes(t, dir, 3)
+	orphan := sidecarPath(dir, 77)
+	tmp := sidecarPath(dir, 1) + ".tmp"
+	for _, p := range []string{orphan, tmp} {
+		if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+			t.Fatalf("plant %s: %v", p, err)
+		}
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for _, p := range []string{orphan, tmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s not cleaned at open: %v", p, err)
+		}
+	}
+}
+
+// TestClientHistorySkipsByBloom is the acceptance check for the
+// sidecar design: a client present in one segment out of many costs
+// one segment's worth of file opens, with every other segment skipped
+// by its bloom filter alone.
+func TestClientHistorySkipsByBloom(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithMaxSegmentBytes(1024), WithSpillThreshold(1))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// The rare client's two probes land first, confined to the first
+	// segment; bulk traffic from other cookies fills many more.
+	s.Observe(probe("rare-client", 0))
+	s.Observe(probe("rare-client", 1))
+	for i := 0; i < 400; i++ {
+		s.Observe(probe(fmt.Sprintf("bulk-%d", i%7), i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segCount := len(s.Segments())
+	if segCount < 10 {
+		t.Fatalf("want many segments, got %d", segCount)
+	}
+
+	r := mustReadOnly(t, dir)
+	hist, err := r.ClientHistory("rare-client")
+	if err != nil {
+		t.Fatalf("ClientHistory: %v", err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history has %d probes, want 2", len(hist))
+	}
+	st := r.Stats()
+	// One segment holds the client: its lazy index build plus its
+	// record read cost at most a couple of opens each, and a 1% bloom
+	// false-positive rate across ~30 segments should add at most one
+	// or two more. Opens must not scale with the segment count.
+	if st.SegmentOpens > uint64(4+segCount/10) {
+		t.Errorf("ClientHistory opened %d segment files across %d segments; bloom skips = %d",
+			st.SegmentOpens, segCount, st.BloomSkips)
+	}
+	if st.BloomSkips < uint64(segCount-1-segCount/10) {
+		t.Errorf("only %d of %d segments were bloom-skipped", st.BloomSkips, segCount)
+	}
+
+	// A cookie that never probed costs no record reads at all.
+	before := r.Stats().SegmentOpens
+	none, err := r.ClientHistory("never-seen")
+	if err != nil {
+		t.Fatalf("ClientHistory(miss): %v", err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("history for unknown client = %+v", none)
+	}
+	if opens := r.Stats().SegmentOpens - before; opens > uint64(1+segCount/10) {
+		t.Errorf("unknown client opened %d segment files", opens)
+	}
+}
+
+// TestReadOnlyFlushSurfacesWriteErrors is the regression test for the
+// swallowed-error bug: a read-only store's Flush and Close used to
+// early-return nil, so the ErrReadOnly noted on every misdirected
+// Observe was never surfaced, violating the documented "first error
+// since the last Flush is also returned" contract.
+func TestReadOnlyFlushSurfacesWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	w.Observe(probe("x", 1))
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := mustReadOnly(t, dir)
+	r.Observe(probe("x", 2)) // misdirected: the sink is read-only
+	if err := r.Flush(); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Flush after read-only Observe = %v, want ErrReadOnly", err)
+	}
+	// The contract is "first error since the last Flush": the error was
+	// consumed, so a second Flush is clean.
+	if err := r.Flush(); err != nil {
+		t.Errorf("second Flush = %v, want nil", err)
+	}
+
+	// Close surfaces it the same way.
+	r2 := mustReadOnly(t, dir)
+	r2.Observe(probe("x", 3))
+	if err := r2.Close(); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Close after read-only Observe = %v, want ErrReadOnly", err)
+	}
+}
+
+// TestClientHistoryCachesEvictedSegmentMiss is the regression test for
+// the repeated-failed-open bug: every remaining ref of a retention-
+// evicted segment used to re-issue the failing os.Open. The miss is
+// now cached per segment, so a long history over an evicted segment
+// costs one open attempt, not one per record — and a repeat query
+// costs none.
+func TestClientHistoryCachesEvictedSegmentMiss(t *testing.T) {
+	dir := t.TempDir()
+	const n = 200
+	segs := writeProbes(t, dir, n, WithMaxSegmentBytes(2048), WithSpillThreshold(1))
+	if len(segs) < 3 {
+		t.Fatalf("want several segments, got %+v", segs)
+	}
+
+	r := mustReadOnly(t, dir)
+	// Simulate a live writer's retention: the first two segments
+	// vanish after the reader adopted them.
+	for _, seg := range segs[:2] {
+		if err := os.Remove(seg.Path); err != nil {
+			t.Fatalf("evict segment: %v", err)
+		}
+	}
+	hist, err := r.ClientHistory("crash-client")
+	if err != nil {
+		t.Fatalf("ClientHistory: %v", err)
+	}
+	if len(hist) == 0 || len(hist) >= n {
+		t.Fatalf("history has %d probes, want a partial tail of %d", len(hist), n)
+	}
+	opens := r.Stats().SegmentOpens
+	// Each live segment costs at most 2 opens (lazy index + record
+	// read); each evicted one exactly 1 failed attempt, regardless of
+	// how many records it held.
+	if max := uint64(2*(len(segs)-2) + 2); opens > max {
+		t.Errorf("ClientHistory issued %d opens, want <= %d", opens, max)
+	}
+
+	// The misses are cached: a repeat query does not retry the evicted
+	// segments (and serves the rest from the cached per-segment index).
+	before := r.Stats().SegmentOpens
+	if _, err := r.ClientHistory("crash-client"); err != nil {
+		t.Fatalf("second ClientHistory: %v", err)
+	}
+	if again := r.Stats().SegmentOpens - before; again > uint64(len(segs)-2) {
+		t.Errorf("repeat query issued %d opens, want <= %d (no retries of evicted segments)",
+			again, len(segs)-2)
+	}
+}
+
+// TestReadOnlyOpenSkipsSegmentEvictedMidScan: a read-only open racing
+// a live writer's retention may lose a segment between the directory
+// listing and the scan; the open must skip it like Replay does, not
+// fail.
+func TestReadOnlyOpenSkipsSegmentEvictedMidScan(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeProbes(t, dir, 30, WithMaxSegmentBytes(512), WithSpillThreshold(1))
+	if len(segs) < 2 {
+		t.Fatalf("want several segments, got %+v", segs)
+	}
+	// Leave the sidecar behind but delete the segment: loadSidecar
+	// fails its stat, the scan fallback hits ErrNotExist, and the open
+	// carries on with the survivors.
+	if err := os.Remove(segs[0].Path); err != nil {
+		t.Fatalf("evict segment: %v", err)
+	}
+	r := mustReadOnly(t, dir)
+	var count int
+	if err := r.Replay(func(p sbserver.Probe) error { count++; return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if count == 0 || count >= 30 {
+		t.Errorf("replayed %d probes, want the surviving tail of 30", count)
+	}
+}

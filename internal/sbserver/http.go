@@ -1,6 +1,7 @@
 package sbserver
 
 import (
+	"errors"
 	"log"
 	"net/http"
 
@@ -17,6 +18,10 @@ const (
 
 // Handler exposes the server over HTTP. Requests and responses use the
 // binary wire format with content type application/octet-stream.
+// Request bodies are capped at the maximum encoded size of each
+// message (http.MaxBytesReader over the wire-format bounds), so a
+// client cannot stream an unbounded body at a decoder: anything larger
+// necessarily violates a field limit and would be rejected anyway.
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathDownloads, func(w http.ResponseWriter, r *http.Request) {
@@ -24,6 +29,7 @@ func Handler(s *Server) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, wire.MaxDownloadRequestWireBytes)
 		req, err := wire.DecodeDownloadRequest(r.Body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -31,7 +37,14 @@ func Handler(s *Server) http.Handler {
 		}
 		resp, err := s.Download(req)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			// Only an unknown list is the client's fault; anything else
+			// is a server-side failure and must not masquerade as "no
+			// such resource".
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrUnknownList) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -44,6 +57,7 @@ func Handler(s *Server) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, wire.MaxFullHashRequestWireBytes)
 		req, err := wire.DecodeFullHashRequest(r.Body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -64,6 +78,7 @@ func Handler(s *Server) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, wire.MaxFullHashBatchRequestWireBytes)
 		batch, err := wire.DecodeFullHashBatchRequest(r.Body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)

@@ -1,0 +1,109 @@
+package sbserver
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/wire"
+)
+
+// TestFullHashesRejectsOversizedRequests is the regression test for
+// the serve-everything-record-a-clamp bug: FullHashes used to answer
+// every requested prefix but clamp the recorded probe to the wire
+// limits, so a LocalTransport caller could make served traffic diverge
+// from the retained log. Oversized requests are now rejected outright —
+// the same verdict the HTTP decoder gives them — and nothing is
+// recorded or served.
+func TestFullHashesRejectsOversizedRequests(t *testing.T) {
+	s := New()
+	defer s.Close() //nolint:errcheck // test cleanup
+	if err := s.CreateList("l", ""); err != nil {
+		t.Fatalf("CreateList: %v", err)
+	}
+
+	longID := strings.Repeat("c", wire.MaxProbeClientIDBytes+1)
+	if _, err := s.FullHashes(&wire.FullHashRequest{ClientID: longID}); !errors.Is(err, wire.ErrTooLarge) {
+		t.Errorf("oversized client id: err = %v, want ErrTooLarge", err)
+	}
+
+	manyPrefixes := make([]hashx.Prefix, wire.MaxProbePrefixes+1)
+	for i := range manyPrefixes {
+		manyPrefixes[i] = hashx.Prefix(i)
+	}
+	if _, err := s.FullHashes(&wire.FullHashRequest{ClientID: "c", Prefixes: manyPrefixes}); !errors.Is(err, wire.ErrTooLarge) {
+		t.Errorf("oversized prefix set: err = %v, want ErrTooLarge", err)
+	}
+
+	// The rejected requests must not have reached the probe log: the
+	// provider's vantage records served traffic, and nothing was served.
+	if probes := s.Probes(); len(probes) != 0 {
+		t.Errorf("rejected requests were recorded: %+v", probes)
+	}
+
+	// A request exactly at the limits is served and recorded intact.
+	atLimit := &wire.FullHashRequest{
+		ClientID: strings.Repeat("c", wire.MaxProbeClientIDBytes),
+		Prefixes: manyPrefixes[:wire.MaxProbePrefixes],
+	}
+	if _, err := s.FullHashes(atLimit); err != nil {
+		t.Fatalf("at-limit request rejected: %v", err)
+	}
+	probes := s.Probes()
+	if len(probes) != 1 || probes[0].ClientID != atLimit.ClientID || len(probes[0].Prefixes) != wire.MaxProbePrefixes {
+		t.Errorf("at-limit probe distorted: %d probes", len(probes))
+	}
+}
+
+// TestFullHashesBatchRejectsBeforeServing: a batch containing an
+// oversized sub-request is rejected wholesale, before any sub-request
+// is served or recorded — otherwise the retained log would hold probes
+// for answers the caller never received.
+func TestFullHashesBatchRejectsBeforeServing(t *testing.T) {
+	s := New()
+	defer s.Close() //nolint:errcheck // test cleanup
+	batch := []*wire.FullHashRequest{
+		{ClientID: "ok", Prefixes: []hashx.Prefix{1}},
+		{ClientID: strings.Repeat("c", wire.MaxProbeClientIDBytes+1)},
+	}
+	if _, err := s.FullHashesBatch(batch); !errors.Is(err, wire.ErrTooLarge) {
+		t.Fatalf("batch with oversized entry: err = %v, want ErrTooLarge", err)
+	}
+	if probes := s.Probes(); len(probes) != 0 {
+		t.Errorf("rejected batch recorded %d probes: %+v", len(probes), probes)
+	}
+}
+
+// TestHandlerCapsRequestBodies: each endpoint bounds its request body
+// at the wire-format maximum, so an attacker cannot stream gigabytes
+// at a decoder; the decode fails and the handler answers 400.
+func TestHandlerCapsRequestBodies(t *testing.T) {
+	s := New()
+	defer s.Close() //nolint:errcheck // test cleanup
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	for path, limit := range map[string]int{
+		PathDownloads:     wire.MaxDownloadRequestWireBytes,
+		PathFullHash:      wire.MaxFullHashRequestWireBytes,
+		PathFullHashBatch: wire.MaxFullHashBatchRequestWireBytes,
+	} {
+		// A valid header followed by padding far past the cap: the body
+		// reader must cut the request off rather than buffer it all.
+		body := make([]byte, limit+4096)
+		body[0] = wire.Magic
+		body[1] = wire.Version
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close() //nolint:errcheck // test response
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s with %d-byte body: status %d, want 400", path, len(body), resp.StatusCode)
+		}
+	}
+}

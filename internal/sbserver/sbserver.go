@@ -402,25 +402,21 @@ func (s *Server) Download(req *wire.DownloadRequest) (*wire.DownloadResponse, er
 // different prefixes proceed fully in parallel; the probe is handed to
 // the async pipeline rather than appended under a write lock.
 //
-// The recorded probe is clamped to the wire-protocol limits (client id
-// and prefix-count): the HTTP path enforces them at decode, but
-// LocalTransport bypasses the decoder, and every sink — live analyzers
-// and the persistent store alike — must observe the identical probe or
-// a replayed log would diverge from the live view. The clamp affects
-// only the record; the lookup itself answers every requested prefix.
+// Requests exceeding the wire-protocol limits (client id length,
+// prefix count) are rejected with an error wrapping wire.ErrTooLarge —
+// the same verdict the HTTP decoder hands an over-limit body.
+// LocalTransport callers bypass that decoder, and serving an oversized
+// request while recording a trimmed probe would let serving diverge
+// from the retained log, the opposite of the paper's provider vantage:
+// whatever is answered must be what every sink observes.
 func (s *Server) FullHashes(req *wire.FullHashRequest) (*wire.FullHashResponse, error) {
-	clientID := req.ClientID
-	if len(clientID) > wire.MaxProbeClientIDBytes {
-		clientID = clientID[:wire.MaxProbeClientIDBytes]
-	}
-	prefixes := req.Prefixes
-	if len(prefixes) > wire.MaxProbePrefixes {
-		prefixes = prefixes[:wire.MaxProbePrefixes]
+	if err := validateFullHashRequest(req); err != nil {
+		return nil, err
 	}
 	s.probes.record(Probe{
 		Time:     s.now(),
-		ClientID: clientID,
-		Prefixes: append([]hashx.Prefix(nil), prefixes...),
+		ClientID: req.ClientID,
+		Prefixes: append([]hashx.Prefix(nil), req.Prefixes...),
 	})
 	resp := &wire.FullHashResponse{
 		CacheSeconds: s.cacheSeconds,
@@ -435,12 +431,36 @@ func (s *Server) FullHashes(req *wire.FullHashRequest) (*wire.FullHashResponse, 
 	return resp, nil
 }
 
+// validateFullHashRequest enforces the wire-protocol limits on a
+// request that may have bypassed the HTTP decoder (LocalTransport).
+func validateFullHashRequest(req *wire.FullHashRequest) error {
+	if len(req.ClientID) > wire.MaxProbeClientIDBytes {
+		return fmt.Errorf("%w: client id = %d > %d bytes",
+			wire.ErrTooLarge, len(req.ClientID), wire.MaxProbeClientIDBytes)
+	}
+	if len(req.Prefixes) > wire.MaxProbePrefixes {
+		return fmt.Errorf("%w: prefix count = %d > %d",
+			wire.ErrTooLarge, len(req.Prefixes), wire.MaxProbePrefixes)
+	}
+	return nil
+}
+
 // FullHashesBatch serves several full-hash requests in one call,
 // recording one probe per request — the provider's view is identical to
 // the requests arriving back to back. Batching amortizes per-call
 // overhead for high-volume callers (audits, load generators, the batch
 // HTTP endpoint).
+//
+// The whole batch is validated before any sub-request is served: an
+// oversized entry rejects the batch with nothing recorded, so a
+// partial failure can never leave probes in the log for answers the
+// caller never received.
 func (s *Server) FullHashesBatch(reqs []*wire.FullHashRequest) ([]*wire.FullHashResponse, error) {
+	for _, req := range reqs {
+		if err := validateFullHashRequest(req); err != nil {
+			return nil, err
+		}
+	}
 	resps := make([]*wire.FullHashResponse, len(reqs))
 	for i, req := range reqs {
 		resp, err := s.FullHashes(req)

@@ -129,6 +129,99 @@ func DecodeProbeRecord(b []byte) (*ProbeRecord, int, error) {
 	return m, consumed, nil
 }
 
+// MaxProbeIndexBloomBytes bounds the serialized client-cookie Bloom
+// filter one probe-index sidecar may carry, so a corrupt length field
+// cannot force a large allocation. A 4 MiB segment of minimal records
+// holds well under 512k distinct cookies; at ~10 bits per cookie the
+// filter stays under 1 MiB, so 8 MiB is generous headroom.
+const MaxProbeIndexBloomBytes = 8 << 20
+
+// maxProbeIndexFileBytes bounds the segment byte extent a sidecar may
+// claim (1 TiB — far beyond any rotation size this code produces).
+const maxProbeIndexFileBytes = 1 << 40
+
+// ProbeIndex is the content of a probe-segment index sidecar file
+// (seg-NNNNNNNN.pidx): enough metadata for a reader to account for the
+// segment — and to decide whether a client cookie could appear in it —
+// without scanning the segment's records. The sidecar is advisory: a
+// reader that finds it missing, torn, or disagreeing with the segment
+// file falls back to a full scan.
+type ProbeIndex struct {
+	// SegmentID is the id of the segment this sidecar describes.
+	SegmentID uint64
+	// Records is the number of complete records in the segment.
+	Records uint64
+	// Bytes is the segment's valid byte extent, header included. A
+	// sealed segment's file size must equal it exactly; any other size
+	// means the sidecar is stale.
+	Bytes int64
+	// Bloom is the serialized bloom.Filter of the segment's client
+	// cookies (bloom.MarshalBinary). Opaque at this layer so the wire
+	// package stays free of the filter implementation.
+	Bloom []byte
+}
+
+// Encode writes the sidecar message (header included) to w.
+func (m *ProbeIndex) Encode(w io.Writer) error {
+	if len(m.Bloom) > MaxProbeIndexBloomBytes {
+		return fmt.Errorf("%w: bloom = %d > %d bytes", ErrTooLarge, len(m.Bloom), MaxProbeIndexBloomBytes)
+	}
+	if m.Bytes < 0 || m.Bytes > maxProbeIndexFileBytes {
+		return fmt.Errorf("%w: segment bytes = %d", ErrTooLarge, m.Bytes)
+	}
+	buf := make([]byte, 0, 3+4*binary.MaxVarintLen64+len(m.Bloom))
+	buf = append(buf, Magic, Version, byte(MsgProbeIndex))
+	buf = binary.AppendUvarint(buf, m.SegmentID)
+	buf = binary.AppendUvarint(buf, m.Records)
+	buf = binary.AppendUvarint(buf, uint64(m.Bytes))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Bloom)))
+	buf = append(buf, m.Bloom...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeProbeIndex parses a sidecar message from b (the whole file).
+// Any torn, trailing-garbage or over-limit content is an error: sidecar
+// readers treat every decode failure the same way — ignore the sidecar
+// and scan the segment — so this decoder never guesses.
+func DecodeProbeIndex(b []byte) (*ProbeIndex, error) {
+	if len(b) < SegmentHeaderSize {
+		return nil, ErrTornRecord
+	}
+	if b[0] != Magic {
+		return nil, ErrBadMagic
+	}
+	if b[1] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[1])
+	}
+	if MsgType(b[2]) != MsgProbeIndex {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadType, b[2], MsgProbeIndex)
+	}
+	b = b[SegmentHeaderSize:]
+	m := &ProbeIndex{}
+	var n int
+	if m.SegmentID, n = binary.Uvarint(b); n <= 0 {
+		return nil, fmt.Errorf("wire: probe index: bad segment id")
+	}
+	b = b[n:]
+	if m.Records, n = binary.Uvarint(b); n <= 0 {
+		return nil, fmt.Errorf("wire: probe index: bad record count")
+	}
+	b = b[n:]
+	bytes, n := binary.Uvarint(b)
+	if n <= 0 || bytes > maxProbeIndexFileBytes {
+		return nil, fmt.Errorf("wire: probe index: bad byte extent")
+	}
+	m.Bytes = int64(bytes)
+	b = b[n:]
+	bloomLen, n := binary.Uvarint(b)
+	if n <= 0 || bloomLen > MaxProbeIndexBloomBytes || uint64(len(b)-n) != bloomLen {
+		return nil, fmt.Errorf("wire: probe index: bad bloom block")
+	}
+	m.Bloom = append([]byte(nil), b[n:]...)
+	return m, nil
+}
+
 // SegmentHeaderSize is the byte length of a probe-segment file header.
 const SegmentHeaderSize = 3
 

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestProbeIndexRoundTrip(t *testing.T) {
+	in := &ProbeIndex{
+		SegmentID: 42,
+		Records:   100_000,
+		Bytes:     4 << 20,
+		Bloom:     []byte{0x01, 0x02, 0x03, 0xff, 0x00, 0x7f},
+	}
+	var buf bytes.Buffer
+	if err := in.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := DecodeProbeIndex(buf.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeProbeIndex: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+
+	// An empty bloom (empty segment) round-trips too.
+	empty := &ProbeIndex{SegmentID: 1}
+	buf.Reset()
+	if err := empty.Encode(&buf); err != nil {
+		t.Fatalf("Encode empty: %v", err)
+	}
+	out, err = DecodeProbeIndex(buf.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeProbeIndex empty: %v", err)
+	}
+	if out.SegmentID != 1 || out.Records != 0 || out.Bytes != 0 || len(out.Bloom) != 0 {
+		t.Errorf("empty round trip = %+v", out)
+	}
+}
+
+func TestProbeIndexDecodeRejectsMalformedInput(t *testing.T) {
+	var buf bytes.Buffer
+	good := &ProbeIndex{SegmentID: 7, Records: 3, Bytes: 512, Bloom: []byte{1, 2, 3, 4}}
+	if err := good.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	data := buf.Bytes()
+
+	// Every strict prefix of a valid sidecar (a torn write) must fail.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeProbeIndex(data[:cut]); err == nil {
+			t.Errorf("decoded %d-byte prefix of a %d-byte sidecar", cut, len(data))
+		}
+	}
+	// Trailing garbage is a disagreement, not slack.
+	if _, err := DecodeProbeIndex(append(append([]byte(nil), data...), 0xaa)); err == nil {
+		t.Error("decoded sidecar with trailing garbage")
+	}
+	// Wrong header bytes.
+	for i, wantErr := range []error{ErrBadMagic, ErrBadVersion, ErrBadType} {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0xff
+		if _, err := DecodeProbeIndex(bad); !errors.Is(err, wantErr) {
+			t.Errorf("corrupt header byte %d: err = %v, want %v", i, err, wantErr)
+		}
+	}
+	// A bloom length field exceeding the hard limit must be rejected
+	// before any allocation.
+	huge := []byte{Magic, Version, byte(MsgProbeIndex),
+		1, 1, 1, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := DecodeProbeIndex(huge); err == nil {
+		t.Error("decoded sidecar with absurd bloom length")
+	}
+}
+
+func TestProbeIndexEncodeRejectsOversizedBloom(t *testing.T) {
+	m := &ProbeIndex{SegmentID: 1, Bloom: make([]byte, MaxProbeIndexBloomBytes+1)}
+	if err := m.Encode(&bytes.Buffer{}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Encode oversized bloom = %v, want ErrTooLarge", err)
+	}
+	neg := &ProbeIndex{SegmentID: 1, Bytes: -1}
+	if err := neg.Encode(&bytes.Buffer{}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Encode negative bytes = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestRequestWireSizeBoundsCoverMaximalRequests checks that the exported
+// body bounds really do admit the largest request each decoder accepts —
+// an HTTP body cap sized from them can never reject a legal request.
+func TestRequestWireSizeBoundsCoverMaximalRequests(t *testing.T) {
+	longID := string(bytes.Repeat([]byte{'c'}, maxStringLen))
+
+	dl := &DownloadRequest{ClientID: longID}
+	for i := 0; i < maxLists; i++ {
+		dl.States = append(dl.States, ListState{List: longID, LastChunk: 1<<32 - 1})
+	}
+	var buf bytes.Buffer
+	if err := dl.Encode(&buf); err != nil {
+		t.Fatalf("Encode download: %v", err)
+	}
+	if buf.Len() > MaxDownloadRequestWireBytes {
+		t.Errorf("maximal DownloadRequest = %d bytes > bound %d", buf.Len(), MaxDownloadRequestWireBytes)
+	}
+
+	req := &FullHashRequest{ClientID: longID}
+	for i := 0; i < maxPrefixesPerReq; i++ {
+		req.Prefixes = append(req.Prefixes, 0xffffffff)
+	}
+	buf.Reset()
+	if err := req.Encode(&buf); err != nil {
+		t.Fatalf("Encode fullhash: %v", err)
+	}
+	if buf.Len() > MaxFullHashRequestWireBytes {
+		t.Errorf("maximal FullHashRequest = %d bytes > bound %d", buf.Len(), MaxFullHashRequestWireBytes)
+	}
+
+	batch := &FullHashBatchRequest{}
+	for i := 0; i < MaxBatchRequests; i++ {
+		batch.Requests = append(batch.Requests, *req)
+	}
+	buf.Reset()
+	if err := batch.Encode(&buf); err != nil {
+		t.Fatalf("Encode batch: %v", err)
+	}
+	if buf.Len() > MaxFullHashBatchRequestWireBytes {
+		t.Errorf("maximal FullHashBatchRequest = %d bytes > bound %d", buf.Len(), MaxFullHashBatchRequestWireBytes)
+	}
+}

@@ -39,6 +39,11 @@ const (
 	// three-byte header followed by length-prefixed probe records (see
 	// probe.go and internal/probestore).
 	MsgProbeSegment
+	// MsgProbeIndex identifies a probe-segment index sidecar file: the
+	// segment's record count, byte extent, and a Bloom filter of its
+	// client cookies, so readers can skip segments without a client
+	// instead of scanning them (see ProbeIndex and internal/probestore).
+	MsgProbeIndex
 )
 
 // ChunkType distinguishes additions from removals.
@@ -65,6 +70,28 @@ const (
 // batch message may carry. Callers with more requests must send several
 // frames (HTTPTransport.FullHashesBatch chunks automatically).
 const MaxBatchRequests = 64
+
+// maxVarint is the worst-case byte length of one uvarint field, used to
+// bound whole-message sizes below.
+const maxVarint = binary.MaxVarintLen64
+
+// Upper bounds on the encoded size of each client→server request the
+// decoders would accept, derived from the field limits above. HTTP
+// servers cap request bodies with these (http.MaxBytesReader) so a
+// client cannot stream an unbounded body at a handler: anything larger
+// necessarily violates a field limit and would be rejected anyway.
+const (
+	// MaxDownloadRequestWireBytes bounds an encoded DownloadRequest.
+	MaxDownloadRequestWireBytes = 3 + maxVarint + maxStringLen +
+		maxVarint + maxLists*(maxVarint+maxStringLen+maxVarint)
+	// MaxFullHashRequestWireBytes bounds an encoded FullHashRequest.
+	MaxFullHashRequestWireBytes = 3 + maxVarint + maxStringLen +
+		maxVarint + maxPrefixesPerReq*hashx.PrefixSize
+	// MaxFullHashBatchRequestWireBytes bounds an encoded
+	// FullHashBatchRequest.
+	MaxFullHashBatchRequestWireBytes = 3 + maxVarint +
+		MaxBatchRequests*(MaxFullHashRequestWireBytes-3)
+)
 
 // Errors returned by decoders.
 var (

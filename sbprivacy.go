@@ -131,6 +131,9 @@ type (
 	ProbeStore = probestore.Store
 	// ProbeStoreStats reports the store's counters.
 	ProbeStoreStats = probestore.Stats
+	// ProbeStoreFollowOption configures ProbeStore.Follow, the live
+	// tail of a store directory.
+	ProbeStoreFollowOption = probestore.FollowOption
 )
 
 // Probe store constructors and options.
@@ -147,6 +150,8 @@ var (
 	WithRetainSegments = probestore.WithRetainSegments
 	// WithRetainBytes bounds the store's total on-disk size.
 	WithRetainBytes = probestore.WithRetainBytes
+	// WithFollowPoll sets the idle poll interval of ProbeStore.Follow.
+	WithFollowPoll = probestore.WithFollowPoll
 )
 
 // Experiment harness types.
