@@ -1,14 +1,23 @@
 GO ?= go
 
-.PHONY: check build vet test race bench docs-check
+.PHONY: check build vet test race bench docs-check examples-check
 
 check: build vet race
 
 # docs-check is the documentation gate CI runs alongside check: go vet,
-# the godoc comment lint over the API-bearing packages, and a link check
-# on README.md and docs/*.md (see tools/doccheck).
+# the godoc comment lint over the API-bearing packages, the package-
+# comment sweep over every internal/ package, and a link check on
+# README.md and docs/*.md (see tools/doccheck).
 docs-check: vet
 	$(GO) run ./tools/doccheck
+
+# examples-check keeps the runnable surface honest: every example
+# builds, the quickstart actually runs, and every command quoted in the
+# experiments playbook still parses its flags.
+examples-check:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart
+	$(GO) run ./tools/doccheck -cmds docs/EXPERIMENTS.md
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"sbprivacy/internal/core"
+	"sbprivacy/internal/probestore"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/workload"
+)
+
+// campaignOptions are the -campaign mode knobs.
+type campaignOptions struct {
+	days      int
+	clients   int
+	seed      int64
+	storeDir  string // "" creates a temp directory and prints it
+	segmentKB int
+	linkage   core.LongitudinalConfig
+}
+
+// runCampaign is the -campaign mode: generate a deterministic multi-day
+// synthetic workload, drive it through the real client/server stack
+// with a probe store and a live longitudinal correlator subscribed,
+// print the day-over-day re-identification report with its ground-truth
+// score, and finally verify that replaying the persisted store offline
+// reproduces the live report exactly. The store directory is left in
+// place so the same analysis can be re-run with
+// "sbanalyze -probe-store DIR -index urls.txt -longitudinal".
+func runCampaign(w io.Writer, opts campaignOptions) error {
+	camp, err := workload.Generate(workload.Config{
+		Days: opts.days, Clients: opts.clients, Seed: opts.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, camp.Summary())
+
+	dir := opts.storeDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "sb-campaign-")
+		if err != nil {
+			return err
+		}
+	} else if segs, _ := filepath.Glob(filepath.Join(dir, "seg-*"+".plog")); len(segs) > 0 {
+		// Opening an existing store would append this campaign's probes
+		// after the old ones, and the offline-replay acceptance check
+		// would then (rightly) fail against the live report — turn that
+		// confusing late failure into a clear early one.
+		return fmt.Errorf("campaign store %s already holds %d segment(s); pick a fresh directory", dir, len(segs))
+	}
+	store, err := probestore.Open(dir,
+		probestore.WithMaxSegmentBytes(int64(opts.segmentKB)<<10))
+	if err != nil {
+		return err
+	}
+	index := core.NewIndex(camp.IndexExpressions())
+	live := core.NewLongitudinal(index, opts.linkage)
+
+	stats, err := camp.Run(context.Background(), store, live)
+	if err != nil {
+		store.Close() //nolint:errcheck // already failing
+		return err
+	}
+	if err := store.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, stats)
+	st := store.Stats()
+	fmt.Fprintf(w, "probe store %s: %d records in %d segments (%d bytes)\n\n",
+		dir, st.Persisted, st.Segments, st.LiveBytes)
+
+	liveReport := live.Report()
+	fmt.Fprint(w, liveReport)
+
+	// Score the linkage against the campaign's ground truth: the
+	// generator knows which cookies belonged to the same churning user.
+	correct := 0
+	for _, lk := range liveReport.Links {
+		if camp.SameUser(lk.From, lk.To) {
+			correct++
+		}
+	}
+	transitions := camp.ChurnTransitions()
+	if n := len(liveReport.Links); n > 0 {
+		fmt.Fprintf(w, "ground truth: %d/%d links correct (precision %.2f), %d/%d true rotations caught (recall %.2f)\n",
+			correct, n, float64(correct)/float64(n),
+			correct, transitions,
+			float64(correct)/float64(max(1, transitions)))
+	} else {
+		fmt.Fprintf(w, "ground truth: no links found (%d true rotations in the campaign)\n",
+			transitions)
+	}
+
+	// The acceptance check: an offline replay of the store — a separate
+	// read-only open, as a later process would do — must reproduce the
+	// live report deep-equal.
+	offline, err := replayLongitudinal(dir, camp, opts.linkage)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(liveReport, offline) {
+		return fmt.Errorf("offline replay over %s diverges from the live campaign report", dir)
+	}
+	fmt.Fprintf(w, "offline replay over %s deep-equals the live report\n", dir)
+
+	// Drop the campaign's web index next to the store so the printed
+	// sbanalyze invocation works as-is. The probe store only treats
+	// seg-* files as its own, so the extra file is safe there.
+	indexPath := filepath.Join(dir, "index.urls")
+	if err := writeIndexFile(indexPath, camp.IndexExpressions()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "rerun the analysis any time:\n  go run ./cmd/sbanalyze -probe-store %s -index %s -longitudinal%s\n",
+		dir, indexPath, linkageFlags(opts.linkage))
+	return nil
+}
+
+// linkageFlags renders the non-default linkage thresholds as sbanalyze
+// flags, so the printed rerun hint reproduces the report the user just
+// saw rather than silently reverting to the defaults.
+func linkageFlags(l core.LongitudinalConfig) string {
+	var b strings.Builder
+	if l.MinShared != 0 {
+		fmt.Fprintf(&b, " -min-shared %d", l.MinShared)
+	}
+	if l.MinSharedURLs != 0 {
+		fmt.Fprintf(&b, " -min-shared-urls %d", l.MinSharedURLs)
+	}
+	if l.MinLinkScore != 0 {
+		fmt.Fprintf(&b, " -min-link-score %g", l.MinLinkScore)
+	}
+	return b.String()
+}
+
+// writeIndexFile writes the campaign's indexed expressions one per
+// line, the format sbanalyze -index reads.
+func writeIndexFile(path string, exprs []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range exprs {
+		if _, err := fmt.Fprintln(f, e); err != nil {
+			f.Close() //nolint:errcheck // already failing
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// replayLongitudinal opens the store read-only and replays every probe
+// into a fresh correlator over a freshly built index.
+func replayLongitudinal(dir string, camp *workload.Campaign, linkage core.LongitudinalConfig) (*core.LongitudinalReport, error) {
+	ro, err := probestore.Open(dir, probestore.ReadOnly())
+	if err != nil {
+		return nil, err
+	}
+	l := core.NewLongitudinal(core.NewIndex(camp.IndexExpressions()), linkage)
+	if err := ro.Replay(func(p sbserver.Probe) error {
+		l.Observe(p)
+		return nil
+	}); err != nil {
+		ro.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	// Close surfaces errors noted during the read-only session (the
+	// PR 3 contract); a replay that hit one must not report success.
+	if err := ro.Close(); err != nil {
+		return nil, err
+	}
+	return l.Report(), nil
+}

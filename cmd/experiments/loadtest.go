@@ -73,7 +73,7 @@ func loadTest(workers, batch int, duration time.Duration, scale int, seed int64)
 				}
 				for _, req := range reqs {
 					req.Prefixes[0] = prefixes[rng.Intn(len(prefixes))] // hit
-					req.Prefixes[1] = hashx.Prefix(rng.Uint32())       // ~always a miss
+					req.Prefixes[1] = hashx.Prefix(rng.Uint32())        // ~always a miss
 				}
 				resps, err := srv.FullHashesBatch(reqs)
 				if err != nil {

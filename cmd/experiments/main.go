@@ -6,9 +6,19 @@
 //	experiments -run all               # everything
 //	experiments -run figure5 -hosts 20000
 //	experiments -loadtest 8 -loadtest-secs 5   # provider throughput load test
+//	experiments -campaign -days 7 -clients 1000 -seed 42
 //
 // Scale knobs: -hosts controls the synthetic corpus size (Figures 5/6,
 // Table 8); -scale divides the blacklist/dataset sizes (Tables 9-12).
+//
+// Campaign mode (-campaign) generates a deterministic multi-day
+// synthetic browsing population, drives it through the real
+// client/server stack into a persistent probe store with virtual-clock
+// timestamps, runs the longitudinal day-over-day re-identification
+// analysis live, scores the cookie linkage against the generator's
+// ground truth, and verifies an offline replay of the store reproduces
+// the live report exactly. -campaign-store picks the store directory
+// (default: a fresh temp directory, printed and kept).
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"sbprivacy/internal/core"
 	"sbprivacy/internal/corpus"
 	"sbprivacy/internal/exp"
 )
@@ -37,8 +48,34 @@ func run() int {
 		loadWorkers = flag.Int("loadtest", 0, "run a provider load test with N concurrent workers instead of experiments")
 		loadBatch   = flag.Int("loadtest-batch", 32, "full-hash requests per batch call in the load test")
 		loadSecs    = flag.Int("loadtest-secs", 5, "load test duration in seconds")
+
+		campaign     = flag.Bool("campaign", false, "run a multi-day synthetic workload campaign instead of experiments")
+		days         = flag.Int("days", 7, "campaign length in virtual days")
+		clients      = flag.Int("clients", 1000, "campaign population size")
+		campStore    = flag.String("campaign-store", "", "probe-store directory for the campaign (default: fresh temp dir, printed and kept)")
+		campSegKB    = flag.Int("campaign-segment-kb", 256, "campaign probe-store segment rotation size in KiB")
+		minShared    = flag.Int("min-shared", 0, "linkage: least shared profile elements per link (0 = correlator default)")
+		minSharedURL = flag.Int("min-shared-urls", 0, "linkage: least shared exact URLs per link (0 = correlator default, negative allows none)")
+		minLinkScore = flag.Float64("min-link-score", 0, "linkage: least overlap-coefficient score per link (0 = correlator default)")
 	)
 	flag.Parse()
+
+	if *campaign {
+		err := runCampaign(os.Stdout, campaignOptions{
+			days: *days, clients: *clients, seed: *seed,
+			storeDir: *campStore, segmentKB: *campSegKB,
+			linkage: core.LongitudinalConfig{
+				MinShared:     *minShared,
+				MinSharedURLs: *minSharedURL,
+				MinLinkScore:  *minLinkScore,
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: campaign: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *loadWorkers > 0 {
 		if err := loadTest(*loadWorkers, *loadBatch, time.Duration(*loadSecs)*time.Second, *scale, *seed); err != nil {

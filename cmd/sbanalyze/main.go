@@ -20,6 +20,18 @@
 // provider's web index; -client prints one cookie's raw probe history
 // from the per-client index.
 //
+// -since/-until (RFC 3339 or "2006-01-02", UTC) restrict replay and
+// follow mode to a time window of the store — the provider analyzing
+// just one slice of its retained history. -longitudinal (with -index)
+// additionally runs the day-over-day analysis over the replayed
+// window: per-day activity, cookie linkage across resets, and the
+// linked identity chains. A campaign store written by
+// "experiments -campaign" replays into the identical report the live
+// run printed:
+//
+//	sbanalyze -probe-store /tmp/sb-campaign-X -index urls.txt -longitudinal
+//	sbanalyze -probe-store /tmp/sb-campaign-X -index urls.txt -since 2016-03-08 -until 2016-03-10
+//
 // Follow mode (-follow) tails a live store directory like `tail -f`:
 // every probe already on disk is delivered first, then probes are
 // streamed as the serving process spills them, until SIGINT/SIGTERM
@@ -41,6 +53,7 @@ import (
 	"strings"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"sbprivacy/internal/blacklist"
 	"sbprivacy/internal/core"
@@ -55,13 +68,19 @@ func main() {
 
 func run() int {
 	var (
-		provider  = flag.String("provider", "yandex", "google or yandex")
-		scale     = flag.Int("scale", 100, "scale divisor")
-		seed      = flag.Int64("seed", 2015, "generation seed")
-		storeDir  = flag.String("probe-store", "", "replay a persisted probe log from this directory instead of auditing blacklists")
-		followDir = flag.String("follow", "", "tail a live probe-store directory, streaming probes until SIGINT")
-		indexFile = flag.String("index", "", "file of URLs (one per line) forming the provider's web index for re-identification")
-		client    = flag.String("client", "", "print the probe history of one client cookie (replay/follow mode)")
+		provider     = flag.String("provider", "yandex", "google or yandex")
+		scale        = flag.Int("scale", 100, "scale divisor")
+		seed         = flag.Int64("seed", 2015, "generation seed")
+		storeDir     = flag.String("probe-store", "", "replay a persisted probe log from this directory instead of auditing blacklists")
+		followDir    = flag.String("follow", "", "tail a live probe-store directory, streaming probes until SIGINT")
+		indexFile    = flag.String("index", "", "file of URLs (one per line) forming the provider's web index for re-identification")
+		client       = flag.String("client", "", "print the probe history of one client cookie (replay/follow mode)")
+		since        = flag.String("since", "", "ignore probes before this time (RFC 3339 or 2006-01-02, UTC; replay/follow mode)")
+		until        = flag.String("until", "", "ignore probes at or after this time (RFC 3339 or 2006-01-02, UTC; replay/follow mode)")
+		longitudinal = flag.Bool("longitudinal", false, "also run the day-over-day cookie-linkage analysis (needs -index; replay mode)")
+		minShared    = flag.Int("min-shared", 0, "longitudinal: least shared profile elements per link (0 = default)")
+		minSharedURL = flag.Int("min-shared-urls", 0, "longitudinal: least shared exact URLs per link (0 = default, negative allows none)")
+		minLinkScore = flag.Float64("min-link-score", 0, "longitudinal: least overlap-coefficient score per link (0 = default)")
 	)
 	flag.Parse()
 
@@ -69,11 +88,29 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "sbanalyze: -probe-store and -follow are mutually exclusive")
 		return 2
 	}
+	window, err := parseWindow(*since, *until)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
+		return 2
+	}
+	if *longitudinal && (*indexFile == "" || *storeDir == "") {
+		fmt.Fprintln(os.Stderr, "sbanalyze: -longitudinal needs -probe-store and -index")
+		return 2
+	}
 	if *followDir != "" {
-		return runFollow(*followDir, *indexFile, *client)
+		return runFollow(*followDir, *indexFile, *client, window)
 	}
 	if *storeDir != "" {
-		return runReplay(*storeDir, *indexFile, *client)
+		linkage := core.LongitudinalConfig{
+			MinShared:     *minShared,
+			MinSharedURLs: *minSharedURL,
+			MinLinkScore:  *minLinkScore,
+		}
+		return runReplay(*storeDir, *indexFile, *client, window, *longitudinal, linkage)
+	}
+	if *since != "" || *until != "" {
+		fmt.Fprintln(os.Stderr, "sbanalyze: -since/-until apply to -probe-store or -follow mode")
+		return 2
 	}
 
 	var p blacklist.Provider
@@ -153,10 +190,52 @@ func run() int {
 	return 0
 }
 
+// parseWindow builds the probe time filter from the -since/-until
+// flags. Accepts RFC 3339 timestamps or bare UTC dates; an empty flag
+// leaves that side unbounded. The window is [since, until).
+func parseWindow(since, until string) (func(time.Time) bool, error) {
+	parse := func(flag, v string) (time.Time, error) {
+		if t, err := time.Parse(time.RFC3339, v); err == nil {
+			return t, nil
+		}
+		t, err := time.Parse("2006-01-02", v)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("-%s %q: want RFC 3339 or 2006-01-02", flag, v)
+		}
+		return t, nil
+	}
+	var lo, hi time.Time
+	var err error
+	if since != "" {
+		if lo, err = parse("since", since); err != nil {
+			return nil, err
+		}
+	}
+	if until != "" {
+		if hi, err = parse("until", until); err != nil {
+			return nil, err
+		}
+	}
+	if !lo.IsZero() && !hi.IsZero() && !lo.Before(hi) {
+		return nil, fmt.Errorf("-since %s is not before -until %s", since, until)
+	}
+	return func(t time.Time) bool {
+		if !lo.IsZero() && t.Before(lo) {
+			return false
+		}
+		if !hi.IsZero() && !t.Before(hi) {
+			return false
+		}
+		return true
+	}, nil
+}
+
 // runReplay is the -probe-store mode: open the log read-only, print the
-// store's shape, then run the re-identification analysis (with -index)
-// or dump one client's history (with -client).
-func runReplay(dir, indexFile, client string) int {
+// store's shape, then run the re-identification analysis (with -index,
+// plus the day-over-day linkage with -longitudinal) or dump one
+// client's history (with -client). Only probes inside the -since/-until
+// window are analyzed.
+func runReplay(dir, indexFile, client string, window func(time.Time) bool, longitudinal bool, linkage core.LongitudinalConfig) int {
 	store, err := probestore.Open(dir, probestore.ReadOnly())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
@@ -183,9 +262,15 @@ func runReplay(dir, indexFile, client string) int {
 			fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(w, "\n== history of client %q (%d probes) ==\n", client, len(history))
-		fmt.Fprintln(w, "time\tprefixes")
+		kept := history[:0]
 		for _, p := range history {
+			if window(p.Time) {
+				kept = append(kept, p)
+			}
+		}
+		fmt.Fprintf(w, "\n== history of client %q (%d probes) ==\n", client, len(kept))
+		fmt.Fprintln(w, "time\tprefixes")
+		for _, p := range kept {
 			fmt.Fprintf(w, "%s\t%v\n", p.Time.UTC().Format("2006-01-02T15:04:05.000Z"), p.Prefixes)
 		}
 	}
@@ -197,8 +282,18 @@ func runReplay(dir, indexFile, client string) int {
 			return 1
 		}
 		analyzer := core.NewAnalyzer(index)
+		var long *core.Longitudinal
+		if longitudinal {
+			long = core.NewLongitudinal(index, linkage)
+		}
 		if err := store.Replay(func(p sbserver.Probe) error {
+			if !window(p.Time) {
+				return nil
+			}
 			analyzer.Observe(p)
+			if long != nil {
+				long.Observe(p)
+			}
 			return nil
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sbanalyze: replay: %v\n", err)
@@ -208,12 +303,18 @@ func runReplay(dir, indexFile, client string) int {
 		fmt.Fprintf(w, "\n== re-identification over %d indexed URLs (%d clients) ==\n", n, len(rep.Clients))
 		w.Flush() //nolint:errcheck // interleave report after table
 		fmt.Print(rep)
+		if long != nil {
+			fmt.Printf("\n== day-over-day longitudinal analysis ==\n")
+			fmt.Print(long.Report())
+		}
 	} else if client == "" {
 		// Summary-only run: count distinct cookies in one streaming
 		// pass rather than forcing the store to build its full index.
 		seen := make(map[string]struct{})
 		if err := store.Replay(func(p sbserver.Probe) error {
-			seen[p.ClientID] = struct{}{}
+			if window(p.Time) {
+				seen[p.ClientID] = struct{}{}
+			}
 			return nil
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sbanalyze: replay: %v\n", err)
@@ -230,8 +331,9 @@ func runReplay(dir, indexFile, client string) int {
 // tail it until a signal. Without -index or -client every probe is
 // printed as it lands on disk; -client restricts the stream to one
 // cookie; -index feeds the re-identification analyzer continuously and
-// prints its report when the tail stops.
-func runFollow(dir, indexFile, client string) int {
+// prints its report when the tail stops. Probes outside the
+// -since/-until window are skipped.
+func runFollow(dir, indexFile, client string, window func(time.Time) bool) int {
 	store, err := probestore.Open(dir, probestore.ReadOnly())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
@@ -255,6 +357,9 @@ func runFollow(dir, indexFile, client string) int {
 
 	probes := 0
 	err = store.Follow(ctx, func(p sbserver.Probe) error {
+		if !window(p.Time) {
+			return nil
+		}
 		probes++
 		if analyzer != nil {
 			analyzer.Observe(p)

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseWindow(t *testing.T) {
+	t.Parallel()
+	at := func(s string) time.Time {
+		tm, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			t.Fatalf("bad test time %q: %v", s, err)
+		}
+		return tm
+	}
+	cases := []struct {
+		since, until string
+		in           time.Time
+		want         bool
+	}{
+		{"", "", at("2016-03-08T12:00:00Z"), true},
+		{"2016-03-08", "", at("2016-03-08T00:00:00Z"), true},
+		{"2016-03-08", "", at("2016-03-07T23:59:59Z"), false},
+		{"", "2016-03-09", at("2016-03-08T23:59:59Z"), true},
+		{"", "2016-03-09", at("2016-03-09T00:00:00Z"), false}, // until is exclusive
+		{"2016-03-08", "2016-03-09", at("2016-03-08T12:00:00Z"), true},
+		{"2016-03-08T06:00:00Z", "2016-03-08T07:00:00Z", at("2016-03-08T06:30:00Z"), true},
+		{"2016-03-08T06:00:00Z", "2016-03-08T07:00:00Z", at("2016-03-08T07:00:00Z"), false},
+	}
+	for _, c := range cases {
+		window, err := parseWindow(c.since, c.until)
+		if err != nil {
+			t.Errorf("parseWindow(%q, %q): %v", c.since, c.until, err)
+			continue
+		}
+		if got := window(c.in); got != c.want {
+			t.Errorf("window[%q, %q)(%v) = %v, want %v", c.since, c.until, c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	t.Parallel()
+	for _, c := range [][2]string{
+		{"not-a-time", ""},
+		{"", "2016-13-45"},
+		{"2016-03-09", "2016-03-08"}, // inverted
+		{"2016-03-08", "2016-03-08"}, // empty window
+	} {
+		if _, err := parseWindow(c[0], c[1]); err == nil {
+			t.Errorf("parseWindow(%q, %q): want error", c[0], c[1])
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/urlx"
+)
+
+// Longitudinal is the day-over-day re-identification correlator: it
+// buckets a probe stream into UTC calendar days, re-identifies each
+// probe against the provider's web index, and — across days — links
+// cookies that vanish to cookies that appear with a matching browsing
+// profile. This is the paper's retention threat stretched over a long
+// horizon: a cookie reset does not reset the client's *habits*, and a
+// provider holding the probe log can re-identify a churned client from
+// the sites it keeps revisiting.
+//
+// Longitudinal implements sbserver.ProbeSink, so it runs live
+// (subscribed to a server) or offline (fed from probestore.Replay).
+// Like Analyzer, its Report is a pure function of the observed probe
+// multiset: delivery order and interleaving do not change it, which is
+// what makes the campaign-path report and a pure replay over the
+// resulting store deeply equal. Safe for concurrent use.
+type Longitudinal struct {
+	mu   sync.Mutex
+	x    *Index
+	cfg  LongitudinalConfig
+	days map[int64]map[string]*cookieDayAgg // unix day → cookie → tally
+}
+
+var _ sbserver.ProbeSink = (*Longitudinal)(nil)
+
+// LongitudinalConfig tunes the correlator's linkage thresholds. A
+// day-profile is the set of re-identified exact URLs plus registrable
+// domains a cookie produced that day: exact pages carry the client's
+// personal revisit fingerprint, domains catch the coarser site habit.
+type LongitudinalConfig struct {
+	// MinShared is the least number of distinct profile elements (exact
+	// URLs or domains) two day-profiles must share before a link is
+	// considered. Zero means the default (3): a shared page brings its
+	// own domain with it, so anything below three collapses to
+	// single-page evidence — and one page in common is what a
+	// coincidence looks like.
+	MinShared int
+	// MinSharedURLs is the least number of shared exact URLs per link.
+	// Shared domains are cheap coincidences — everyone visits popular
+	// sites — but a shared favourite *page* is a personal fingerprint.
+	// Zero means the default (1); negative allows links on domain
+	// evidence alone.
+	MinSharedURLs int
+	// MinLinkScore is the least similarity score for a link. The score
+	// is the overlap coefficient — shared elements over the size of the
+	// smaller profile — which, unlike Jaccard, does not punish a
+	// light-activity day for being compared against a rich one. Zero
+	// means the default (0.5).
+	MinLinkScore float64
+}
+
+// withDefaults fills the zero fields.
+func (c LongitudinalConfig) withDefaults() LongitudinalConfig {
+	if c.MinShared <= 0 {
+		c.MinShared = 3
+	}
+	if c.MinSharedURLs == 0 {
+		c.MinSharedURLs = 1
+	}
+	if c.MinLinkScore <= 0 {
+		c.MinLinkScore = 0.5
+	}
+	return c
+}
+
+// cookieDayAgg is one cookie's tally within one calendar day.
+type cookieDayAgg struct {
+	probes     int
+	urls       map[string]int
+	domains    map[string]int
+	unresolved int
+}
+
+// NewLongitudinal builds a longitudinal correlator over the provider's
+// web index.
+func NewLongitudinal(x *Index, cfg LongitudinalConfig) *Longitudinal {
+	return &Longitudinal{
+		x:    x,
+		cfg:  cfg.withDefaults(),
+		days: make(map[int64]map[string]*cookieDayAgg),
+	}
+}
+
+// unixDay maps a time to its UTC calendar day number (days since the
+// Unix epoch, floored — correct for pre-1970 times too).
+func unixDay(t time.Time) int64 {
+	sec := t.Unix()
+	day := sec / 86400
+	if sec%86400 < 0 {
+		day--
+	}
+	return day
+}
+
+// dayDate renders a unix day number as its UTC date.
+func dayDate(day int64) string {
+	return time.Unix(day*86400, 0).UTC().Format("2006-01-02")
+}
+
+// Observe implements sbserver.ProbeSink: the probe is re-identified
+// and tallied under its (calendar day, cookie) bucket.
+func (l *Longitudinal) Observe(p sbserver.Probe) {
+	r := l.x.Reidentify(p.Prefixes)
+	day := unixDay(p.Time)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cookies := l.days[day]
+	if cookies == nil {
+		cookies = make(map[string]*cookieDayAgg)
+		l.days[day] = cookies
+	}
+	agg := cookies[p.ClientID]
+	if agg == nil {
+		agg = &cookieDayAgg{urls: make(map[string]int), domains: make(map[string]int)}
+		cookies[p.ClientID] = agg
+	}
+	agg.probes++
+	switch {
+	case r.Exact:
+		u := r.Candidates[0]
+		agg.urls[u]++
+		agg.domains[urlx.RegisteredDomain(urlx.HostOf(u))]++
+	case r.CommonDomain != "":
+		agg.domains[r.CommonDomain]++
+	default:
+		agg.unresolved++
+	}
+}
+
+// CookieDay is one cookie's re-identified activity within one day.
+type CookieDay struct {
+	// Cookie is the Safe Browsing cookie.
+	Cookie string
+	// Probes is the number of full-hash requests observed that day.
+	Probes int
+	// ExactURLs are the URLs re-identified exactly.
+	ExactURLs []NameCount
+	// Domains are the registrable domains re-identified (exact
+	// re-identifications count toward their domain too).
+	Domains []NameCount
+	// Unresolved counts probes that stayed ambiguous or unknown.
+	Unresolved int
+	// New is true when this is the cookie's first active day in the
+	// observed window.
+	New bool
+}
+
+// DayReport is the correlator's view of one calendar day.
+type DayReport struct {
+	// Date is the UTC date ("2006-01-02").
+	Date string
+	// Day is the zero-based index from the first observed day; the
+	// report covers every day in between, including silent ones.
+	Day int
+	// Cookies holds one entry per cookie active that day, sorted.
+	Cookies []CookieDay
+	// NewCookies lists the cookies first seen on this day, sorted.
+	NewCookies []string
+	// VanishedCookies lists the cookies active on the previous calendar
+	// day but silent on this one, sorted.
+	VanishedCookies []string
+}
+
+// CookieLink is one day-over-day linkage: a cookie that vanished,
+// re-identified as a cookie that appeared the next day, because their
+// browsing profiles (re-identified domain sets) overlap.
+type CookieLink struct {
+	// Date is the day the new cookie appeared.
+	Date string
+	// From is the vanished cookie (active the previous day).
+	From string
+	// To is the newly appeared cookie.
+	To string
+	// Shared is the number of distinct profile elements (exact URLs and
+	// domains) both day-profiles contain.
+	Shared int
+	// SharedURLs is how many of those are exact URLs — the strong,
+	// fingerprint-grade portion of the evidence.
+	SharedURLs int
+	// Score is the overlap coefficient of the two profiles (shared
+	// elements over the smaller profile's size) — the revisit-based
+	// re-identification confidence of this link.
+	Score float64
+}
+
+// ChainReport is a maximal sequence of linked cookies: the correlator's
+// claim that they are one client churning its cookie.
+type ChainReport struct {
+	// Cookies is the linked sequence, oldest first.
+	Cookies []string
+	// Confidence is the mean link score along the chain.
+	Confidence float64
+}
+
+// LongitudinalReport is the correlator's full output.
+type LongitudinalReport struct {
+	// Days covers every calendar day from the first to the last
+	// observed probe, in order (silent days included, empty).
+	Days []DayReport
+	// Links are the accepted day-over-day cookie linkages, ordered by
+	// date, then vanished cookie.
+	Links []CookieLink
+	// Chains are the transitive closures of Links, ordered by their
+	// first cookie.
+	Chains []ChainReport
+}
+
+// profile returns one (day, cookie) bucket's identity fingerprint: the
+// distinct re-identified exact URLs and the distinct registrable
+// domains. Exact pages are what distinguish two clients sharing the
+// same popular sites, so linkage weighs them separately.
+func (a *cookieDayAgg) profile() (urls, domains map[string]bool) {
+	urls = make(map[string]bool, len(a.urls))
+	for u := range a.urls {
+		urls[u] = true
+	}
+	domains = make(map[string]bool, len(a.domains))
+	for d := range a.domains {
+		domains[d] = true
+	}
+	return urls, domains
+}
+
+// intersect returns |a∩b|.
+func intersect(a, b map[string]bool) int {
+	n := 0
+	for d := range a {
+		if b[d] {
+			n++
+		}
+	}
+	return n
+}
+
+// Report snapshots the correlator's conclusions. Like Analyzer.Report
+// it is deterministic for a given probe multiset; live callers must
+// flush the server first so in-flight probes are included.
+func (l *Longitudinal) Report() *LongitudinalReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rep := &LongitudinalReport{}
+	if len(l.days) == 0 {
+		return rep
+	}
+	dayKeys := make([]int64, 0, len(l.days))
+	for d := range l.days {
+		dayKeys = append(dayKeys, d)
+	}
+	sort.Slice(dayKeys, func(i, j int) bool { return dayKeys[i] < dayKeys[j] })
+	first, last := dayKeys[0], dayKeys[len(dayKeys)-1]
+
+	// First- and last-seen days per cookie decide New and link
+	// eligibility. This is a retrospective analysis over a retained
+	// log, so it may look ahead: a cookie only counts as a churn
+	// candidate if it appeared (first seen) or disappeared (last seen)
+	// for good — a light user skipping a day and returning under its
+	// stable cookie is neither.
+	firstSeen := make(map[string]int64)
+	lastSeen := make(map[string]int64)
+	for _, d := range dayKeys {
+		for c := range l.days[d] {
+			if _, seen := firstSeen[c]; !seen {
+				firstSeen[c] = d
+			}
+			lastSeen[c] = d
+		}
+	}
+
+	for d := first; d <= last; d++ {
+		dr := DayReport{Date: dayDate(d), Day: int(d - first)}
+		cookies := l.days[d]
+		names := make([]string, 0, len(cookies))
+		for c := range cookies {
+			names = append(names, c)
+		}
+		sort.Strings(names)
+		for _, c := range names {
+			agg := cookies[c]
+			cd := CookieDay{
+				Cookie:     c,
+				Probes:     agg.probes,
+				ExactURLs:  sortedCounts(agg.urls),
+				Domains:    sortedCounts(agg.domains),
+				Unresolved: agg.unresolved,
+				New:        firstSeen[c] == d,
+			}
+			dr.Cookies = append(dr.Cookies, cd)
+			if cd.New {
+				dr.NewCookies = append(dr.NewCookies, c)
+			}
+		}
+		for c := range l.days[d-1] {
+			if _, active := cookies[c]; !active {
+				dr.VanishedCookies = append(dr.VanishedCookies, c)
+			}
+		}
+		sort.Strings(dr.VanishedCookies)
+		rep.Days = append(rep.Days, dr)
+
+		if d > first {
+			// Link candidates: cookies gone for good against cookies
+			// just born. The descriptive VanishedCookies list is wider
+			// (it includes users who merely skipped a day).
+			var retired []string
+			for _, c := range dr.VanishedCookies {
+				if lastSeen[c] == d-1 {
+					retired = append(retired, c)
+				}
+			}
+			rep.Links = append(rep.Links, l.linkDay(d, retired, dr.NewCookies)...)
+		}
+	}
+	rep.Chains = buildChains(rep.Links)
+	return rep
+}
+
+// linkDay matches the cookies that retired going into day d against
+// the cookies that appeared on day d, comparing the retired cookie's
+// previous-day profile with the new cookie's day-d profile. Matching
+// is greedy — best-evidenced pair first, each cookie claimed at most
+// once; ties break lexicographically, keeping the report
+// deterministic. The caller holds l.mu.
+func (l *Longitudinal) linkDay(d int64, vanished, appeared []string) []CookieLink {
+	var cands []CookieLink
+	for _, v := range vanished {
+		prevURLs, prevDoms := l.days[d-1][v].profile()
+		if len(prevURLs)+len(prevDoms) == 0 {
+			continue
+		}
+		for _, a := range appeared {
+			curURLs, curDoms := l.days[d][a].profile()
+			cur := len(curURLs) + len(curDoms)
+			if cur == 0 {
+				continue
+			}
+			sharedURLs := intersect(prevURLs, curURLs)
+			shared := sharedURLs + intersect(prevDoms, curDoms)
+			if shared < l.cfg.MinShared || sharedURLs < l.cfg.MinSharedURLs {
+				continue
+			}
+			smaller := len(prevURLs) + len(prevDoms)
+			if cur < smaller {
+				smaller = cur
+			}
+			score := float64(shared) / float64(smaller)
+			if score < l.cfg.MinLinkScore {
+				continue
+			}
+			cands = append(cands, CookieLink{
+				Date: dayDate(d), From: v, To: a,
+				Shared: shared, SharedURLs: sharedURLs, Score: score,
+			})
+		}
+	}
+	// Rank by the volume of shared evidence first — exact URLs before
+	// totals — and score last: two tiny profiles agreeing perfectly
+	// (2/2) is weaker evidence than two rich profiles agreeing well
+	// (6/8), and small-profile perfect scores are exactly what
+	// coincidences look like.
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.SharedURLs != b.SharedURLs {
+			return a.SharedURLs > b.SharedURLs
+		}
+		if a.Shared != b.Shared {
+			return a.Shared > b.Shared
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	usedFrom := make(map[string]bool)
+	usedTo := make(map[string]bool)
+	var out []CookieLink
+	for _, c := range cands {
+		if usedFrom[c.From] || usedTo[c.To] {
+			continue
+		}
+		usedFrom[c.From] = true
+		usedTo[c.To] = true
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// buildChains follows the accepted links transitively: each chain is
+// one claimed identity across cookie resets. Links form a partial
+// bijection (each cookie is From of at most one link and To of at most
+// one), so chains are simple paths.
+func buildChains(links []CookieLink) []ChainReport {
+	succ := make(map[string]CookieLink, len(links))
+	isTo := make(map[string]bool, len(links))
+	for _, lk := range links {
+		succ[lk.From] = lk
+		isTo[lk.To] = true
+	}
+	var roots []string
+	for _, lk := range links {
+		if !isTo[lk.From] {
+			roots = append(roots, lk.From)
+		}
+	}
+	sort.Strings(roots)
+	var chains []ChainReport
+	for _, r := range roots {
+		ch := ChainReport{Cookies: []string{r}}
+		sum, n := 0.0, 0
+		for cur := r; ; {
+			lk, ok := succ[cur]
+			if !ok {
+				break
+			}
+			ch.Cookies = append(ch.Cookies, lk.To)
+			sum += lk.Score
+			n++
+			cur = lk.To
+		}
+		ch.Confidence = sum / float64(n)
+		chains = append(chains, ch)
+	}
+	return chains
+}
+
+// String renders the report as the provider's campaign dossier: a
+// per-day activity summary, the accepted day-over-day links, and the
+// linked identities. Per-cookie detail stays in the structured report.
+func (r *LongitudinalReport) String() string {
+	var b strings.Builder
+	for _, d := range r.Days {
+		probes, exact, domains, unresolved := 0, 0, 0, 0
+		for _, c := range d.Cookies {
+			probes += c.Probes
+			for _, u := range c.ExactURLs {
+				exact += u.Count
+			}
+			for _, dom := range c.Domains {
+				domains += dom.Count
+			}
+			unresolved += c.Unresolved
+		}
+		fmt.Fprintf(&b, "day %s (#%d): %d cookies (%d new, %d vanished), %d probes, %d exact, %d domain-level, %d unresolved\n",
+			d.Date, d.Day, len(d.Cookies), len(d.NewCookies), len(d.VanishedCookies),
+			probes, exact, domains, unresolved)
+	}
+	if len(r.Links) > 0 {
+		fmt.Fprintf(&b, "day-over-day cookie links (%d):\n", len(r.Links))
+		for _, lk := range r.Links {
+			fmt.Fprintf(&b, "  %s  %s -> %s  shared %d (%d exact URLs)  score %.2f\n",
+				lk.Date, lk.From, lk.To, lk.Shared, lk.SharedURLs, lk.Score)
+		}
+	}
+	if len(r.Chains) > 0 {
+		fmt.Fprintf(&b, "linked identities (%d):\n", len(r.Chains))
+		for _, ch := range r.Chains {
+			fmt.Fprintf(&b, "  %s  (confidence %.2f)\n",
+				strings.Join(ch.Cookies, " -> "), ch.Confidence)
+		}
+	}
+	return b.String()
+}

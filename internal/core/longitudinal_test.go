@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/urlx"
+)
+
+// longTestIndex builds an index over two small sites.
+func longTestIndex() (*Index, []string) {
+	urls := []string{
+		"news.example/",
+		"news.example/world",
+		"news.example/sports",
+		"shop.example/",
+		"shop.example/cart",
+	}
+	return NewIndex(urls), urls
+}
+
+// probeFor builds a probe carrying the prefixes a visit to the given
+// expression would reveal when both the exact page and the site root
+// are blacklisted.
+func probeFor(cookie string, at time.Time, expr string) sbserver.Probe {
+	prefixes := []hashx.Prefix{hashx.SumPrefix(expr)}
+	if root := urlx.HostOf(expr) + "/"; root != expr {
+		prefixes = append(prefixes, hashx.SumPrefix(root))
+	}
+	return sbserver.Probe{Time: at, ClientID: cookie, Prefixes: prefixes}
+}
+
+// day returns a timestamp on the n-th UTC day of a fixed window.
+func day(n int, hour int) time.Time {
+	return time.Date(2016, 3, 7+n, hour, 0, 0, 0, time.UTC)
+}
+
+// churnProbes is a three-day scenario: a stable cookie, a churner
+// rotating its cookie daily over the same two sites, and a one-day
+// visitor that must not be linked to anyone.
+func churnProbes() []sbserver.Probe {
+	return []sbserver.Probe{
+		// stable cookie, active all three days
+		probeFor("stable", day(0, 9), "news.example/world"),
+		probeFor("stable", day(1, 10), "news.example/world"),
+		probeFor("stable", day(2, 11), "news.example/sports"),
+		// churner: same favourite pages, fresh cookie each day
+		probeFor("churn.d0", day(0, 12), "news.example/world"),
+		probeFor("churn.d0", day(0, 13), "shop.example/cart"),
+		probeFor("churn.d1", day(1, 12), "news.example/world"),
+		probeFor("churn.d1", day(1, 14), "shop.example/"),
+		probeFor("churn.d2", day(2, 12), "news.example/world"),
+		probeFor("churn.d2", day(2, 15), "shop.example/cart"),
+		// drive-by: one day, one site — below the linkage thresholds
+		probeFor("driveby", day(1, 8), "news.example/"),
+	}
+}
+
+func TestLongitudinalLinksChurner(t *testing.T) {
+	t.Parallel()
+	x, _ := longTestIndex()
+	l := NewLongitudinal(x, LongitudinalConfig{})
+	for _, p := range churnProbes() {
+		l.Observe(p)
+	}
+	rep := l.Report()
+
+	if len(rep.Days) != 3 {
+		t.Fatalf("report covers %d days, want 3", len(rep.Days))
+	}
+	d0 := rep.Days[0]
+	if d0.Date != "2016-03-07" || d0.Day != 0 {
+		t.Errorf("day 0 labelled %q #%d", d0.Date, d0.Day)
+	}
+	if len(d0.NewCookies) != 2 { // stable + churn.d0
+		t.Errorf("day 0 new cookies %v, want 2", d0.NewCookies)
+	}
+	d1 := rep.Days[1]
+	if got := d1.VanishedCookies; len(got) != 1 || got[0] != "churn.d0" {
+		t.Errorf("day 1 vanished %v, want [churn.d0]", got)
+	}
+	// driveby and churn.d1 are both new on day 1.
+	if got := d1.NewCookies; len(got) != 2 {
+		t.Errorf("day 1 new %v, want 2 entries", got)
+	}
+
+	want := [][2]string{{"churn.d0", "churn.d1"}, {"churn.d1", "churn.d2"}}
+	if len(rep.Links) != len(want) {
+		t.Fatalf("links %+v, want %d churn links", rep.Links, len(want))
+	}
+	for i, lk := range rep.Links {
+		if lk.From != want[i][0] || lk.To != want[i][1] {
+			t.Errorf("link %d = %s -> %s, want %s -> %s", i, lk.From, lk.To, want[i][0], want[i][1])
+		}
+		if lk.Shared < 2 || lk.Score < 0.5 || lk.Score > 1 {
+			t.Errorf("link %d has shared %d score %v", i, lk.Shared, lk.Score)
+		}
+	}
+	if len(rep.Chains) != 1 {
+		t.Fatalf("chains %+v, want exactly one", rep.Chains)
+	}
+	chain := rep.Chains[0]
+	if !reflect.DeepEqual(chain.Cookies, []string{"churn.d0", "churn.d1", "churn.d2"}) {
+		t.Errorf("chain %v, want the full churn sequence", chain.Cookies)
+	}
+	if chain.Confidence <= 0 || chain.Confidence > 1 {
+		t.Errorf("chain confidence %v outside (0,1]", chain.Confidence)
+	}
+
+	// The stable cookie must never appear in a link: it neither
+	// vanished nor appeared.
+	for _, lk := range rep.Links {
+		if lk.From == "stable" || lk.To == "stable" || lk.From == "driveby" || lk.To == "driveby" {
+			t.Errorf("spurious link %+v", lk)
+		}
+	}
+}
+
+// TestLongitudinalOrderIndependent shuffles delivery order: the report
+// must be a pure function of the probe multiset, the property that
+// makes the live campaign report and an offline replay deeply equal.
+func TestLongitudinalOrderIndependent(t *testing.T) {
+	t.Parallel()
+	x, _ := longTestIndex()
+	base := NewLongitudinal(x, LongitudinalConfig{})
+	probes := churnProbes()
+	for _, p := range probes {
+		base.Observe(p)
+	}
+	want := base.Report()
+
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 5; round++ {
+		shuffled := append([]sbserver.Probe(nil), probes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		l := NewLongitudinal(x, LongitudinalConfig{})
+		for _, p := range shuffled {
+			l.Observe(p)
+		}
+		if got := l.Report(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: shuffled report differs:\ngot  %+v\nwant %+v", round, got, want)
+		}
+	}
+}
+
+// TestLongitudinalSilentDay checks that a fully silent calendar day
+// still appears in the report and breaks day-over-day linkage.
+func TestLongitudinalSilentDay(t *testing.T) {
+	t.Parallel()
+	x, _ := longTestIndex()
+	l := NewLongitudinal(x, LongitudinalConfig{})
+	l.Observe(probeFor("a.d0", day(0, 9), "news.example/world"))
+	l.Observe(probeFor("a.d0", day(0, 10), "shop.example/cart"))
+	// day 1 silent
+	l.Observe(probeFor("a.d2", day(2, 9), "news.example/world"))
+	l.Observe(probeFor("a.d2", day(2, 10), "shop.example/cart"))
+	rep := l.Report()
+	if len(rep.Days) != 3 {
+		t.Fatalf("report covers %d days, want 3 (silent day included)", len(rep.Days))
+	}
+	if len(rep.Days[1].Cookies) != 0 {
+		t.Errorf("silent day has cookies: %+v", rep.Days[1])
+	}
+	if len(rep.Links) != 0 {
+		t.Errorf("linkage across a silent day: %+v", rep.Links)
+	}
+}
+
+func TestLongitudinalEmpty(t *testing.T) {
+	t.Parallel()
+	x, _ := longTestIndex()
+	rep := NewLongitudinal(x, LongitudinalConfig{}).Report()
+	if len(rep.Days) != 0 || len(rep.Links) != 0 || len(rep.Chains) != 0 {
+		t.Errorf("empty correlator produced %+v", rep)
+	}
+	if rep.String() != "" {
+		t.Errorf("empty report renders %q", rep.String())
+	}
+}
+
+func TestLongitudinalString(t *testing.T) {
+	t.Parallel()
+	x, _ := longTestIndex()
+	l := NewLongitudinal(x, LongitudinalConfig{})
+	for _, p := range churnProbes() {
+		l.Observe(p)
+	}
+	s := l.Report().String()
+	for _, want := range []string{"day 2016-03-07", "cookie links", "linked identities", "churn.d0 -> churn.d1 -> churn.d2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

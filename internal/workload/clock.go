@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a settable virtual time source shared by the campaign's
+// server and clients: Run sets it to each event's timestamp before the
+// lookup, so every probe the provider records carries the synthetic
+// campaign time, not the wall clock. Safe for concurrent use (the
+// server's probe pipeline may read it from another goroutine).
+type Clock struct {
+	mu sync.RWMutex
+	t  time.Time
+}
+
+// NewClock returns a clock frozen at t.
+func NewClock(t time.Time) *Clock {
+	return &Clock{t: t}
+}
+
+// Now returns the current virtual time. Pass this method as the time
+// source to sbserver.WithClock and sbclient.WithClock.
+func (c *Clock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t
+}
+
+// Set moves the clock. Campaigns only ever move it forward (events are
+// sorted), but Set itself does not enforce monotonicity.
+func (c *Clock) Set(t time.Time) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+
+	"sbprivacy/internal/sbclient"
+	"sbprivacy/internal/sbserver"
+)
+
+// RunStats summarizes one campaign run.
+type RunStats struct {
+	// Events is the number of visits executed.
+	Events int
+	// Updates is the number of client database syncs (one per cookie,
+	// at its first activity — the blacklist is static for the whole
+	// campaign, so clients never need to re-sync).
+	Updates int
+	// Probes is the number of full-hash requests the provider recorded:
+	// the information that actually leaked.
+	Probes uint64
+	// Lookups, LocalHits, FullHashRequests, PrefixesSent and CacheHits
+	// aggregate the client-side counters across the population.
+	Lookups, LocalHits, FullHashRequests, PrefixesSent, CacheHits int
+}
+
+// String renders the run summary.
+func (st *RunStats) String() string {
+	return fmt.Sprintf(
+		"run: %d visits by %d synced cookies; %d local hits, %d full-hash requests (%d prefixes, %d cache hits); provider recorded %d probes",
+		st.Events, st.Updates, st.LocalHits, st.FullHashRequests, st.PrefixesSent, st.CacheHits, st.Probes)
+}
+
+// Run executes the campaign against a freshly built provider: it
+// creates the blacklist, subscribes the given sinks (a probe store, a
+// live analyzer, a longitudinal correlator, ...), then plays every
+// event in schedule order — setting the shared virtual clock to the
+// event's timestamp, lazily syncing a client the first time its cookie
+// acts, and checking the event's URL. The server is drained and closed
+// before Run returns, so sinks have observed every probe; a subscribed
+// probe store is NOT closed (callers own its Flush/Close ordering).
+//
+// Determinism contract: Run flushes the server's async probe pipeline
+// after every event, so sinks observe probes in exact schedule order,
+// one at a time. Combined with the generator's determinism this makes
+// two runs of the same campaign byte-identical all the way down to a
+// subscribed probe store's segment files. The cost is one pipeline
+// barrier per visit — campaigns trade the sharded server's concurrency
+// for reproducibility, which is what a comparable experiment needs.
+func (c *Campaign) Run(ctx context.Context, sinks ...sbserver.ProbeSink) (*RunStats, error) {
+	clock := NewClock(c.Config.Start)
+	server := sbserver.New(
+		sbserver.WithClock(clock.Now),
+		// The in-memory probe log is not the campaign's retention layer
+		// (the probe store is); keep only a token tail bounded.
+		sbserver.WithProbeLogLimit(1024),
+	)
+	if err := server.CreateList(c.Config.List, "campaign blacklist"); err != nil {
+		return nil, err
+	}
+	if err := server.AddExpressions(c.Config.List, c.BlacklistExpressions()); err != nil {
+		return nil, err
+	}
+	for _, sink := range sinks {
+		if sink != nil {
+			server.Subscribe(sink)
+		}
+	}
+
+	transport := sbclient.LocalTransport{Server: server}
+	clients := make(map[string]*sbclient.Client)
+	var clientOrder []*sbclient.Client
+	stats := &RunStats{}
+	for _, ev := range c.Events {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		clock.Set(ev.Time)
+		cl := clients[ev.Cookie]
+		if cl == nil {
+			cl = sbclient.New(transport, []string{c.Config.List},
+				sbclient.WithCookie(ev.Cookie), sbclient.WithClock(clock.Now))
+			clients[ev.Cookie] = cl
+			clientOrder = append(clientOrder, cl)
+			if err := cl.Update(ctx, true); err != nil {
+				return nil, fmt.Errorf("workload: sync %s: %w", ev.Cookie, err)
+			}
+			stats.Updates++
+		}
+		if _, err := cl.CheckURL(ctx, ev.URL); err != nil {
+			return nil, fmt.Errorf("workload: %s checks %s: %w", ev.Cookie, ev.URL, err)
+		}
+		// The determinism barrier: the event's probe (if any) reaches
+		// every sink before the next event runs.
+		server.Flush()
+		stats.Events++
+	}
+	if err := server.Close(); err != nil {
+		return nil, err
+	}
+	stats.Probes = server.ProbeStats().Received
+	for _, cl := range clientOrder {
+		cs := cl.Stats()
+		stats.Lookups += cs.Lookups
+		stats.LocalHits += cs.LocalHits
+		stats.FullHashRequests += cs.FullHashRequests
+		stats.PrefixesSent += cs.PrefixesSent
+		stats.CacheHits += cs.CacheHits
+	}
+	return stats, nil
+}

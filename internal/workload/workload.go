@@ -1,0 +1,461 @@
+// Package workload generates deterministic multi-day synthetic browsing
+// campaigns and drives them through the real client/server stack — the
+// substrate for the paper's longitudinal claims. A campaign is a small
+// synthetic web (sites with pages, a risky subset blacklisted by the
+// provider), a population of clients with distinct behavioural profiles
+// (heavy, light, periodic, cookie-churning), and a schedule of visits
+// spread over several virtual days following a diurnal activity curve
+// and per-user site-revisit preferences.
+//
+// Everything is derived from one seed: the same Config always yields the
+// same world, the same users, the same events with the same virtual
+// timestamps — and, because Run serializes probe delivery (see Run's
+// documentation), the same bytes in a subscribed probe store. That
+// determinism is what lets the campaign path be compared deep-equal
+// against an offline replay of the store it produced.
+//
+// The interesting population member is the churner: a user who resets
+// its Safe Browsing cookie every day. Its cookies encode the ground
+// truth ("u0042.d03" is user 42 on day 3), so a longitudinal analysis
+// that links day-over-day cookies can be scored for precision and
+// recall against what really happened — see ChurnTransitions and
+// UserOf.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ProfileKind classifies a synthetic user's behaviour.
+type ProfileKind int
+
+// The four behavioural profiles of a campaign population.
+const (
+	// ProfileHeavy browses a broad site set many times a day, nearly
+	// every day.
+	ProfileHeavy ProfileKind = iota + 1
+	// ProfileLight browses a narrow site set a few times a day and
+	// skips many days entirely.
+	ProfileLight
+	// ProfilePeriodic browses on a fixed cadence (every second or third
+	// day) with moderate volume.
+	ProfilePeriodic
+	// ProfileChurning browses like a moderate user but resets its Safe
+	// Browsing cookie every day — the longitudinal correlator's target.
+	ProfileChurning
+)
+
+// String names the profile kind.
+func (k ProfileKind) String() string {
+	switch k {
+	case ProfileHeavy:
+		return "heavy"
+	case ProfileLight:
+		return "light"
+	case ProfilePeriodic:
+		return "periodic"
+	case ProfileChurning:
+		return "churning"
+	default:
+		return fmt.Sprintf("ProfileKind(%d)", int(k))
+	}
+}
+
+// Config parametrizes campaign generation. Zero fields take the
+// defaults documented per field; the zero Config is a valid small
+// campaign.
+type Config struct {
+	// Days is the campaign length in virtual days (default 7).
+	Days int
+	// Clients is the population size (default 100).
+	Clients int
+	// Sites is the synthetic world's site count (default 24 + Clients/8
+	// — the world grows with the population, as the real web dwarfs any
+	// one user's horizon; min 2). Density matters: pack a big population
+	// onto few sites and every profile overlaps every other, which is
+	// exactly the regime where day-over-day linkage drowns in
+	// coincidences.
+	Sites int
+	// RiskyFraction is the fraction of sites whose pages the provider
+	// blacklists; only visits to those leak probes (default 0.5).
+	RiskyFraction float64
+	// Seed drives every random choice. Equal seeds (with equal other
+	// fields) produce byte-identical campaigns.
+	Seed int64
+	// Start is the virtual time of day 0 (default 2016-03-07 00:00 UTC,
+	// a fixed date so the zero Config stays deterministic).
+	Start time.Time
+	// List is the provider's blacklist name (default
+	// "goog-malware-shavar").
+	List string
+}
+
+// withDefaults fills zero fields and validates the rest.
+func (c Config) withDefaults() (Config, error) {
+	if c.Days == 0 {
+		c.Days = 7
+	}
+	if c.Clients == 0 {
+		c.Clients = 100
+	}
+	if c.Sites == 0 {
+		c.Sites = 24 + c.Clients/8
+	}
+	if c.RiskyFraction == 0 {
+		c.RiskyFraction = 0.5
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+	}
+	if c.List == "" {
+		c.List = "goog-malware-shavar"
+	}
+	if c.Days < 1 || c.Clients < 1 || c.Sites < 2 {
+		return c, fmt.Errorf("workload: need Days ≥ 1, Clients ≥ 1, Sites ≥ 2 (got %d, %d, %d)", c.Days, c.Clients, c.Sites)
+	}
+	if c.RiskyFraction < 0 || c.RiskyFraction > 1 {
+		return c, fmt.Errorf("workload: RiskyFraction %v outside [0,1]", c.RiskyFraction)
+	}
+	return c, nil
+}
+
+// Site is one synthetic website.
+type Site struct {
+	// Domain is the site's registrable domain.
+	Domain string
+	// Pages are the site's canonical page expressions ("domain/path").
+	Pages []string
+	// Risky is true when the provider blacklists this site's pages (and
+	// its root expression), so visits to it leak probes.
+	Risky bool
+}
+
+// User is one synthetic client with its behavioural ground truth.
+type User struct {
+	// Index is the user's position in the population.
+	Index int
+	// Kind is the behavioural profile.
+	Kind ProfileKind
+	// Cookies holds the Safe Browsing cookie used on each day (length
+	// Config.Days). Only churners vary across days.
+	Cookies []string
+	// Affinity is the user's site-preference order (indices into
+	// Campaign.Sites); visits concentrate on its prefix, which is what
+	// produces the revisit distribution the correlator exploits.
+	Affinity []int
+
+	// pageSalt rotates the per-site page preference so each user
+	// favours different pages of the same site — the personal revisit
+	// fingerprint day-over-day linkage keys on.
+	pageSalt []int
+}
+
+// Event is one scheduled page visit.
+type Event struct {
+	// Time is the visit's virtual timestamp.
+	Time time.Time
+	// User indexes into Campaign.Users.
+	User int
+	// Cookie is the Safe Browsing cookie in effect for the visit.
+	Cookie string
+	// URL is the full URL the client checks.
+	URL string
+
+	// seq breaks timestamp ties with generation order, making the
+	// post-sort event order a deterministic total order.
+	seq int
+}
+
+// Campaign is a fully generated multi-day workload: the world, the
+// population with its ground truth, and the visit schedule in virtual
+// time order.
+type Campaign struct {
+	// Config is the (defaulted) generation config.
+	Config Config
+	// Sites is the synthetic world.
+	Sites []Site
+	// Users is the population.
+	Users []User
+	// Events is the schedule, sorted by time (ties broken by
+	// generation order).
+	Events []Event
+
+	// cookieUser maps every cookie back to its user index.
+	cookieUser map[string]int
+}
+
+// profileParams are the per-kind behaviour knobs.
+type profileParams struct {
+	activeProb float64 // chance a day is active (heavy/light/churning)
+	period     int     // periodic cadence (0 for the others)
+	meanVisits int     // visits on an active day, on average
+	breadth    int     // size of the affinity prefix visits draw from
+}
+
+// params returns the behaviour knobs for a profile kind.
+func params(k ProfileKind) profileParams {
+	switch k {
+	case ProfileHeavy:
+		return profileParams{activeProb: 0.95, meanVisits: 12, breadth: 8}
+	case ProfileLight:
+		return profileParams{activeProb: 0.55, meanVisits: 2, breadth: 3}
+	case ProfilePeriodic:
+		return profileParams{period: 2, meanVisits: 5, breadth: 4}
+	default: // ProfileChurning
+		return profileParams{activeProb: 0.9, meanVisits: 8, breadth: 5}
+	}
+}
+
+// diurnalWeights is the relative visit likelihood per hour of day: a
+// night trough, a workday plateau and an evening peak.
+var diurnalWeights = [24]int{
+	1, 1, 1, 1, 1, 2, // 00-05 night
+	3, 5, 7, 8, 8, 9, // 06-11 morning ramp
+	10, 9, 8, 8, 9, 10, // 12-17 workday
+	11, 12, 10, 7, 4, 2, // 18-23 evening peak, wind-down
+}
+
+// sampleHour draws an hour of day from the diurnal curve.
+func sampleHour(rng *rand.Rand) int {
+	total := 0
+	for _, w := range diurnalWeights {
+		total += w
+	}
+	roll := rng.Intn(total)
+	for h, w := range diurnalWeights {
+		roll -= w
+		if roll < 0 {
+			return h
+		}
+	}
+	return 23 // unreachable
+}
+
+// sampleRank draws an index in [0, n) with probability ∝ 1/(rank+1):
+// the first few preferences dominate, producing heavy revisiting of a
+// user's favourite sites.
+func sampleRank(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / float64(r+1)
+	}
+	roll := rng.Float64() * total
+	for r := 0; r < n; r++ {
+		roll -= 1 / float64(r+1)
+		if roll < 0 {
+			return r
+		}
+	}
+	return n - 1
+}
+
+// Generate builds a campaign from the config. The result is a pure
+// function of the (defaulted) config: equal configs yield deeply equal
+// campaigns.
+func Generate(cfg Config) (*Campaign, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Campaign{Config: cfg, cookieUser: make(map[string]int)}
+
+	// The world: sites with a root page plus a few flat and nested
+	// pages. The first RiskyFraction of sites are the blacklisted ones.
+	riskyCount := int(cfg.RiskyFraction*float64(cfg.Sites) + 0.5)
+	for i := 0; i < cfg.Sites; i++ {
+		domain := fmt.Sprintf("site-%03d.example", i)
+		pages := []string{domain + "/"}
+		n := 4 + rng.Intn(8)
+		for p := 0; p < n; p++ {
+			if p%2 == 0 {
+				pages = append(pages, fmt.Sprintf("%s/page%d", domain, p))
+			} else {
+				pages = append(pages, fmt.Sprintf("%s/section/item%d", domain, p))
+			}
+		}
+		c.Sites = append(c.Sites, Site{Domain: domain, Pages: pages, Risky: i < riskyCount})
+	}
+
+	// The population. Each user gets its own rng seeded from the master
+	// stream, so adding users extends — not reshuffles — the campaign.
+	for u := 0; u < cfg.Clients; u++ {
+		kindRoll := rng.Float64()
+		var kind ProfileKind
+		switch {
+		case kindRoll < 0.20:
+			kind = ProfileHeavy
+		case kindRoll < 0.70:
+			kind = ProfileLight
+		case kindRoll < 0.90:
+			kind = ProfilePeriodic
+		default:
+			kind = ProfileChurning
+		}
+		urng := rand.New(rand.NewSource(rng.Int63()))
+		user := User{Index: u, Kind: kind, Affinity: urng.Perm(cfg.Sites)}
+		user.pageSalt = make([]int, cfg.Sites)
+		for s := range user.pageSalt {
+			user.pageSalt[s] = urng.Intn(1 << 16)
+		}
+		base := fmt.Sprintf("u%05d", u)
+		phase := urng.Intn(2)
+		pp := params(kind)
+		if pp.period > 0 {
+			pp.period += urng.Intn(2) // every 2nd or 3rd day
+		}
+		for day := 0; day < cfg.Days; day++ {
+			cookie := base
+			if kind == ProfileChurning {
+				cookie = fmt.Sprintf("%s.d%02d", base, day)
+			}
+			user.Cookies = append(user.Cookies, cookie)
+			c.cookieUser[cookie] = u
+
+			active := false
+			if pp.period > 0 {
+				active = day%pp.period == phase
+			} else {
+				active = urng.Float64() < pp.activeProb
+			}
+			if !active {
+				continue
+			}
+			visits := 1 + urng.Intn(2*pp.meanVisits)
+			breadth := pp.breadth
+			if breadth > cfg.Sites {
+				breadth = cfg.Sites
+			}
+			for v := 0; v < visits; v++ {
+				siteIdx := user.Affinity[sampleRank(urng, breadth)]
+				site := c.Sites[siteIdx]
+				page := site.Pages[(sampleRank(urng, len(site.Pages))+user.pageSalt[siteIdx])%len(site.Pages)]
+				t := cfg.Start.Add(time.Duration(day)*24*time.Hour +
+					time.Duration(sampleHour(urng))*time.Hour +
+					time.Duration(urng.Intn(60))*time.Minute +
+					time.Duration(urng.Intn(60))*time.Second)
+				c.Events = append(c.Events, Event{
+					Time: t, User: u, Cookie: cookie,
+					URL: "http://" + page,
+					seq: len(c.Events),
+				})
+			}
+		}
+		c.Users = append(c.Users, user)
+	}
+
+	sort.Slice(c.Events, func(i, j int) bool {
+		a, b := c.Events[i], c.Events[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.seq < b.seq
+	})
+	return c, nil
+}
+
+// BlacklistExpressions returns the canonical expressions the provider
+// blacklists: every page of every risky site (the root page doubles as
+// the site's root expression, so a visit to a risky inner page sends
+// at least two prefixes — the multi-prefix re-identification scenario).
+func (c *Campaign) BlacklistExpressions() []string {
+	var out []string
+	for _, s := range c.Sites {
+		if s.Risky {
+			out = append(out, s.Pages...)
+		}
+	}
+	return out
+}
+
+// IndexExpressions returns every page of every site — the provider's
+// web index the re-identification machinery resolves prefixes against.
+func (c *Campaign) IndexExpressions() []string {
+	var out []string
+	for _, s := range c.Sites {
+		out = append(out, s.Pages...)
+	}
+	return out
+}
+
+// UserOf maps a cookie back to the user that owned it — the campaign's
+// ground truth for scoring a linkage analysis.
+func (c *Campaign) UserOf(cookie string) (int, bool) {
+	u, ok := c.cookieUser[cookie]
+	return u, ok
+}
+
+// SameUser reports whether two cookies belonged to the same user.
+func (c *Campaign) SameUser(a, b string) bool {
+	ua, oka := c.cookieUser[a]
+	ub, okb := c.cookieUser[b]
+	return oka && okb && ua == ub
+}
+
+// ChurnTransitions counts the ground-truth linkable cookie rotations: a
+// churner active (with at least one risky visit, i.e. at least one
+// probe) on two consecutive days rotated its cookie between them. This
+// is the denominator for a linkage analysis's recall.
+func (c *Campaign) ChurnTransitions() int {
+	risky := make(map[string]bool)
+	for _, s := range c.Sites {
+		if s.Risky {
+			for _, p := range s.Pages {
+				risky["http://"+p] = true
+			}
+		}
+	}
+	activeDays := make(map[string]map[int]bool) // cookie → set of active days
+	for _, ev := range c.Events {
+		if !risky[ev.URL] {
+			continue
+		}
+		if activeDays[ev.Cookie] == nil {
+			activeDays[ev.Cookie] = make(map[int]bool)
+		}
+		day := int(ev.Time.Sub(c.Config.Start) / (24 * time.Hour))
+		activeDays[ev.Cookie][day] = true
+	}
+	n := 0
+	for _, u := range c.Users {
+		if u.Kind != ProfileChurning {
+			continue
+		}
+		for day := 1; day < len(u.Cookies); day++ {
+			if activeDays[u.Cookies[day-1]][day-1] && activeDays[u.Cookies[day]][day] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Summary renders the campaign's shape in one line per dimension.
+func (c *Campaign) Summary() string {
+	var b strings.Builder
+	risky := 0
+	for _, s := range c.Sites {
+		if s.Risky {
+			risky++
+		}
+	}
+	kinds := make(map[ProfileKind]int)
+	for _, u := range c.Users {
+		kinds[u.Kind]++
+	}
+	fmt.Fprintf(&b, "campaign: %d days from %s, seed %d\n",
+		c.Config.Days, c.Config.Start.UTC().Format("2006-01-02"), c.Config.Seed)
+	fmt.Fprintf(&b, "world: %d sites (%d risky/blacklisted), %d indexed pages\n",
+		len(c.Sites), risky, len(c.IndexExpressions()))
+	fmt.Fprintf(&b, "population: %d users (%d heavy, %d light, %d periodic, %d churning)\n",
+		len(c.Users), kinds[ProfileHeavy], kinds[ProfileLight], kinds[ProfilePeriodic], kinds[ProfileChurning])
+	fmt.Fprintf(&b, "schedule: %d visits\n", len(c.Events))
+	return b.String()
+}

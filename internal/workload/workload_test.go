@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig is a small, fast campaign used across the tests.
+func testConfig() Config {
+	return Config{Days: 3, Clients: 30, Sites: 10, Seed: 7}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !reflect.DeepEqual(a.Sites, b.Sites) {
+		t.Error("same-seed worlds differ")
+	}
+	if !reflect.DeepEqual(a.Users, b.Users) {
+		t.Error("same-seed populations differ")
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Error("same-seed schedules differ")
+	}
+	c, err := Generate(Config{Days: 3, Clients: 30, Sites: 10, Seed: 8})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Days: 4, Clients: 60, Sites: 12, Seed: 42}
+	camp, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(camp.Sites) != 12 || len(camp.Users) != 60 {
+		t.Fatalf("world/population sized %d/%d, want 12/60", len(camp.Sites), len(camp.Users))
+	}
+	risky := 0
+	for _, s := range camp.Sites {
+		if s.Risky {
+			risky++
+		}
+		if len(s.Pages) < 3 || s.Pages[0] != s.Domain+"/" {
+			t.Errorf("site %s: malformed pages %v", s.Domain, s.Pages)
+		}
+	}
+	if risky != 6 {
+		t.Errorf("%d risky sites, want 6 (half of 12)", risky)
+	}
+
+	kinds := make(map[ProfileKind]bool)
+	for _, u := range camp.Users {
+		kinds[u.Kind] = true
+		if len(u.Cookies) != cfg.Days {
+			t.Fatalf("user %d has %d cookies, want %d", u.Index, len(u.Cookies), cfg.Days)
+		}
+		for day, cookie := range u.Cookies {
+			if got, ok := camp.UserOf(cookie); !ok || got != u.Index {
+				t.Errorf("UserOf(%q) = %d,%v; want %d,true", cookie, got, ok, u.Index)
+			}
+			switch u.Kind {
+			case ProfileChurning:
+				if day > 0 && cookie == u.Cookies[day-1] {
+					t.Errorf("churner %d reused cookie %q on day %d", u.Index, cookie, day)
+				}
+			default:
+				if cookie != u.Cookies[0] {
+					t.Errorf("stable user %d changed cookie on day %d", u.Index, day)
+				}
+			}
+		}
+	}
+	for _, k := range []ProfileKind{ProfileHeavy, ProfileLight, ProfilePeriodic, ProfileChurning} {
+		if !kinds[k] {
+			t.Errorf("population of 60 has no %s user", k)
+		}
+	}
+
+	end := cfg.Start
+	if end.IsZero() {
+		end = camp.Config.Start
+	}
+	end = end.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	for i, ev := range camp.Events {
+		if i > 0 && ev.Time.Before(camp.Events[i-1].Time) {
+			t.Fatalf("events out of order at %d", i)
+		}
+		if ev.Time.Before(camp.Config.Start) || !ev.Time.Before(end) {
+			t.Errorf("event %d at %v outside the campaign window", i, ev.Time)
+		}
+		if !strings.HasPrefix(ev.URL, "http://site-") {
+			t.Errorf("event %d: unexpected URL %q", i, ev.URL)
+		}
+	}
+	if camp.ChurnTransitions() == 0 {
+		t.Error("campaign has no ground-truth churn transitions to link")
+	}
+	if s := camp.Summary(); !strings.Contains(s, "60 users") {
+		t.Errorf("Summary missing population: %q", s)
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	for _, cfg := range []Config{
+		{Days: -1},
+		{Clients: -2},
+		{Sites: 1},
+		{RiskyFraction: 1.5},
+		{RiskyFraction: -0.1},
+	} {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v): want error", cfg)
+		}
+	}
+}
+
+func TestBlacklistAndIndexExpressions(t *testing.T) {
+	t.Parallel()
+	camp, err := Generate(testConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	bl := camp.BlacklistExpressions()
+	idx := camp.IndexExpressions()
+	if len(bl) == 0 || len(idx) <= len(bl) {
+		t.Fatalf("blacklist %d, index %d: want 0 < blacklist < index", len(bl), len(idx))
+	}
+	indexed := make(map[string]bool, len(idx))
+	for _, e := range idx {
+		indexed[e] = true
+	}
+	for _, e := range bl {
+		if !indexed[e] {
+			t.Errorf("blacklisted %q not in the index", e)
+		}
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"sbprivacy/internal/sbclient"
 	"sbprivacy/internal/sbserver"
 	"sbprivacy/internal/urlx"
+	"sbprivacy/internal/workload"
 )
 
 // Digest and prefix primitives.
@@ -153,6 +154,69 @@ var (
 	// WithFollowPoll sets the idle poll interval of ProbeStore.Follow.
 	WithFollowPoll = probestore.WithFollowPoll
 )
+
+// Multi-day synthetic workload campaigns (the longitudinal scenario).
+type (
+	// CampaignConfig parametrizes a multi-day synthetic campaign.
+	CampaignConfig = workload.Config
+	// Campaign is a generated multi-day workload: world, population
+	// with ground truth, and the visit schedule in virtual time.
+	Campaign = workload.Campaign
+	// CampaignEvent is one scheduled page visit.
+	CampaignEvent = workload.Event
+	// CampaignSite is one synthetic website.
+	CampaignSite = workload.Site
+	// CampaignUser is one synthetic client with its ground truth.
+	CampaignUser = workload.User
+	// CampaignRunStats summarizes one campaign run.
+	CampaignRunStats = workload.RunStats
+	// CampaignProfile classifies a synthetic user's behaviour.
+	CampaignProfile = workload.ProfileKind
+	// VirtualClock is the settable time source campaigns share between
+	// server and clients.
+	VirtualClock = workload.Clock
+)
+
+// Campaign population profiles.
+const (
+	// CampaignProfileHeavy browses broadly, many times a day.
+	CampaignProfileHeavy = workload.ProfileHeavy
+	// CampaignProfileLight browses narrowly and skips days.
+	CampaignProfileLight = workload.ProfileLight
+	// CampaignProfilePeriodic browses on a fixed cadence.
+	CampaignProfilePeriodic = workload.ProfilePeriodic
+	// CampaignProfileChurning resets its cookie every day.
+	CampaignProfileChurning = workload.ProfileChurning
+)
+
+// Campaign constructors.
+var (
+	// GenerateCampaign builds a deterministic campaign from a config.
+	GenerateCampaign = workload.Generate
+	// NewVirtualClock returns a clock frozen at the given time.
+	NewVirtualClock = workload.NewClock
+)
+
+// Longitudinal day-over-day correlation (the retention threat over a
+// long horizon).
+type (
+	// Longitudinal is the day-over-day re-identification correlator.
+	Longitudinal = core.Longitudinal
+	// LongitudinalConfig tunes its linkage thresholds.
+	LongitudinalConfig = core.LongitudinalConfig
+	// LongitudinalReport is its full output.
+	LongitudinalReport = core.LongitudinalReport
+	// LongitudinalDay is the correlator's view of one calendar day.
+	LongitudinalDay = core.DayReport
+	// CookieLink is one day-over-day cookie linkage.
+	CookieLink = core.CookieLink
+	// CookieChain is a linked cookie sequence claimed to be one client.
+	CookieChain = core.ChainReport
+)
+
+// NewLongitudinal builds a day-over-day correlator over a web index;
+// feed it live (Subscribe) or from a replayed probe store.
+var NewLongitudinal = core.NewLongitudinal
 
 // Experiment harness types.
 type (

@@ -1,19 +1,28 @@
 // Command doccheck is the repository's documentation linter, run by
-// "make docs-check" and CI. It has two passes:
+// "make docs-check" and CI. It has three passes:
 //
 //   - godoc lint: every exported identifier (types, functions, methods,
 //     consts, vars) in the listed packages must carry a doc comment, and
 //     every package must have a package comment;
+//   - package-comment sweep: every package under internal/ must carry a
+//     package-level doc comment ("// Package foo ..."), even packages
+//     outside the full-lint list;
 //   - link check: relative links in the listed markdown files must
 //     resolve to files that exist in the repository.
 //
+// A fourth, opt-in pass (-cmds file.md) extracts every "go run ./cmd/X"
+// invocation quoted in a markdown file and verifies the command at
+// least parses its flags ("go run ./cmd/X -h" exits 0) — the guard that
+// keeps the experiments playbook runnable as the CLIs evolve.
+//
 // Usage:
 //
-//	go run ./tools/doccheck [-md file.md]... [pkgdir]...
+//	go run ./tools/doccheck [-md file.md]... [-cmds file.md]... [pkgdir]...
 //
 // With no arguments it checks the packages and documents this
 // repository cares about (internal/sbserver, internal/wire,
-// internal/probestore, internal/core, README.md, docs/*.md).
+// internal/probestore, internal/core, internal/workload, README.md,
+// docs/*.md) plus the internal/-wide package-comment sweep.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"go/parser"
 	"go/token"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -35,6 +45,7 @@ var defaultPackages = []string{
 	"internal/wire",
 	"internal/probestore",
 	"internal/core",
+	"internal/workload",
 }
 
 // defaultDocs are the markdown files whose relative links must resolve.
@@ -42,30 +53,145 @@ var defaultDocs = []string{
 	"README.md",
 	"docs/ARCHITECTURE.md",
 	"docs/PAPER-MAP.md",
+	"docs/EXPERIMENTS.md",
 }
 
 func main() {
 	var mdFiles stringList
+	var cmdFiles stringList
 	flag.Var(&mdFiles, "md", "markdown file to link-check (repeatable)")
+	flag.Var(&cmdFiles, "cmds", "markdown file whose quoted 'go run ./cmd/X' commands must parse -h (repeatable)")
 	flag.Parse()
 
 	pkgs := flag.Args()
-	if len(pkgs) == 0 && len(mdFiles) == 0 {
+	sweep := false
+	if len(pkgs) == 0 && len(mdFiles) == 0 && len(cmdFiles) == 0 {
 		pkgs = defaultPackages
 		mdFiles = defaultDocs
+		sweep = true
 	}
 
 	problems := 0
 	for _, dir := range pkgs {
 		problems += lintPackage(dir)
 	}
+	if sweep {
+		problems += sweepPackageComments("internal", pkgs)
+	}
 	for _, md := range mdFiles {
 		problems += lintLinks(md)
+	}
+	for _, md := range cmdFiles {
+		problems += checkQuotedCommands(md)
 	}
 	if problems > 0 {
 		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", problems)
 		os.Exit(1)
 	}
+}
+
+// sweepPackageComments lints the package comment (only) of every Go
+// package under root, skipping directories already fully linted.
+func sweepPackageComments(root string, already []string) int {
+	linted := make(map[string]bool, len(already))
+	for _, dir := range already {
+		linted[filepath.Clean(dir)] = true
+	}
+	problems := 0
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() || linted[filepath.Clean(path)] {
+			return err
+		}
+		if ok, perr := hasGoFiles(path); perr != nil || !ok {
+			return perr
+		}
+		problems += lintPackageComment(path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: sweep %s: %v\n", root, err)
+		problems++
+	}
+	return problems
+}
+
+// hasGoFiles reports whether dir directly contains non-test Go files.
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// lintPackageComment reports a package in dir lacking a package-level
+// doc comment, returning the number of findings.
+func lintPackageComment(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 1
+	}
+	problems := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Fprintf(os.Stderr, "%s: package %s is missing a package comment\n", dir, pkg.Name)
+			problems++
+		}
+	}
+	return problems
+}
+
+// goRunCmd matches "go run ./cmd/<name>" invocations quoted in docs.
+var goRunCmd = regexp.MustCompile(`go run (\./cmd/[a-z]+)`)
+
+// checkQuotedCommands extracts every distinct "go run ./cmd/X" from a
+// markdown file and verifies "go run ./cmd/X -h" exits 0 — i.e. the
+// quoted command still exists and parses flags. Returns the number of
+// failures.
+func checkQuotedCommands(md string) int {
+	data, err := os.ReadFile(md)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	seen := make(map[string]bool)
+	var cmds []string
+	for _, m := range goRunCmd.FindAllStringSubmatch(string(data), -1) {
+		if !seen[m[1]] {
+			seen[m[1]] = true
+			cmds = append(cmds, m[1])
+		}
+	}
+	if len(cmds) == 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %s quotes no 'go run ./cmd/...' commands\n", md)
+		return 1
+	}
+	problems := 0
+	for _, pkg := range cmds {
+		cmd := exec.Command("go", "run", pkg, "-h")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: 'go run %s -h' failed: %v\n%s", md, pkg, err, out)
+			problems++
+		} else {
+			fmt.Printf("doccheck: %s -h ok (quoted in %s)\n", pkg, md)
+		}
+	}
+	return problems
 }
 
 // stringList implements flag.Value for a repeatable string flag.
