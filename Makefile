@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench docs-check examples-check
+.PHONY: check build vet test race bench docs-check examples-check ablate-smoke
 
 check: build vet race
 
@@ -18,6 +18,12 @@ examples-check:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart
 	$(GO) run ./tools/doccheck -cmds docs/EXPERIMENTS.md
+
+# ablate-smoke runs the mitigation ablation grid on a small campaign
+# (every cell re-run and checked deep-equal) under a wall-clock budget;
+# CI's ablation-smoke job calls this.
+ablate-smoke:
+	timeout 300 $(GO) run ./cmd/experiments -ablate -days 3 -clients 200 -seed 42
 
 build:
 	$(GO) build ./...

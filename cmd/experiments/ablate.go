@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"sbprivacy/internal/ablation"
+	"sbprivacy/internal/core"
+	"sbprivacy/internal/workload"
+)
+
+// ablateOptions are the -ablate mode knobs.
+type ablateOptions struct {
+	days      int
+	clients   int
+	seed      int64
+	churn     workload.ChurnSchedule
+	storeRoot string // "" creates a temp directory and prints it
+	segmentKB int
+	verify    bool
+	linkage   core.LongitudinalConfig
+}
+
+// runAblate is the -ablate mode: rerun the same seeded campaign under
+// the default mitigation grid (baseline, dummy-k1, dummy-k4,
+// one-prefix-at-a-time declining and consenting), score each cell's
+// longitudinal linkage and re-identification against the campaign's
+// ground truth, and print the baseline-vs-mitigated delta table with
+// the overhead each mitigation cost. With verify set (the default),
+// every cell is re-run and its report checked deep-equal — the
+// same-seed determinism the grid's comparability rests on.
+func runAblate(w io.Writer, opts ablateOptions) error {
+	rep, err := ablation.Run(context.Background(), ablation.Config{
+		Campaign: workload.Config{
+			Days: opts.days, Clients: opts.clients, Seed: opts.seed,
+			Churn: opts.churn,
+		},
+		Linkage:      opts.linkage,
+		StoreRoot:    opts.storeRoot,
+		SegmentBytes: int64(opts.segmentKB) << 10,
+		Verify:       opts.verify,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, rep)
+	fmt.Fprintf(w, "\nrerun any cell's analysis offline, e.g.:\n  go run ./cmd/sbanalyze -probe-store %s/baseline -index %s -longitudinal%s\n",
+		rep.StoreRoot, rep.IndexPath, linkageFlags(opts.linkage))
+	return nil
+}

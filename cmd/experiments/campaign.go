@@ -20,6 +20,7 @@ type campaignOptions struct {
 	days      int
 	clients   int
 	seed      int64
+	churn     workload.ChurnSchedule
 	storeDir  string // "" creates a temp directory and prints it
 	segmentKB int
 	linkage   core.LongitudinalConfig
@@ -36,6 +37,7 @@ type campaignOptions struct {
 func runCampaign(w io.Writer, opts campaignOptions) error {
 	camp, err := workload.Generate(workload.Config{
 		Days: opts.days, Clients: opts.clients, Seed: opts.seed,
+		Churn: opts.churn,
 	})
 	if err != nil {
 		return err

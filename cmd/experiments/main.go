@@ -31,6 +31,7 @@ import (
 	"sbprivacy/internal/core"
 	"sbprivacy/internal/corpus"
 	"sbprivacy/internal/exp"
+	"sbprivacy/internal/workload"
 )
 
 func main() {
@@ -52,23 +53,49 @@ func run() int {
 		campaign     = flag.Bool("campaign", false, "run a multi-day synthetic workload campaign instead of experiments")
 		days         = flag.Int("days", 7, "campaign length in virtual days")
 		clients      = flag.Int("clients", 1000, "campaign population size")
+		churnName    = flag.String("churn", "daily", "campaign cookie-churn schedule: daily, weekly, random or coordinated")
 		campStore    = flag.String("campaign-store", "", "probe-store directory for the campaign (default: fresh temp dir, printed and kept)")
 		campSegKB    = flag.Int("campaign-segment-kb", 256, "campaign probe-store segment rotation size in KiB")
 		minShared    = flag.Int("min-shared", 0, "linkage: least shared profile elements per link (0 = correlator default)")
 		minSharedURL = flag.Int("min-shared-urls", 0, "linkage: least shared exact URLs per link (0 = correlator default, negative allows none)")
 		minLinkScore = flag.Float64("min-link-score", 0, "linkage: least overlap-coefficient score per link (0 = correlator default)")
+
+		ablate       = flag.Bool("ablate", false, "run the mitigation ablation grid over the campaign instead of experiments")
+		ablateStore  = flag.String("ablate-store", "", "root directory for the per-cell probe stores (default: fresh temp dir, printed and kept)")
+		ablateVerify = flag.Bool("ablate-verify", true, "re-run every cell and check its report reproduces deep-equal")
 	)
 	flag.Parse()
 
+	churn, err := workload.ParseChurnSchedule(*churnName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	linkage := core.LongitudinalConfig{
+		MinShared:     *minShared,
+		MinSharedURLs: *minSharedURL,
+		MinLinkScore:  *minLinkScore,
+	}
+
+	if *ablate {
+		err := runAblate(os.Stdout, ablateOptions{
+			days: *days, clients: *clients, seed: *seed, churn: churn,
+			storeRoot: *ablateStore, segmentKB: *campSegKB,
+			verify:  *ablateVerify,
+			linkage: linkage,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: ablate: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *campaign {
 		err := runCampaign(os.Stdout, campaignOptions{
-			days: *days, clients: *clients, seed: *seed,
+			days: *days, clients: *clients, seed: *seed, churn: churn,
 			storeDir: *campStore, segmentKB: *campSegKB,
-			linkage: core.LongitudinalConfig{
-				MinShared:     *minShared,
-				MinSharedURLs: *minSharedURL,
-				MinLinkScore:  *minLinkScore,
-			},
+			linkage: linkage,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: campaign: %v\n", err)

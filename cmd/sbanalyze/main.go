@@ -32,6 +32,16 @@
 //	sbanalyze -probe-store /tmp/sb-campaign-X -index urls.txt -longitudinal
 //	sbanalyze -probe-store /tmp/sb-campaign-X -index urls.txt -since 2016-03-08 -until 2016-03-10
 //
+// -correlator RULES additionally runs the Section 6.3 temporal-
+// correlation engine over the replayed window: RULES is a file with one
+// rule per line, "NAME WINDOW URL [URL...]" (WINDOW is a Go duration;
+// URLs are canonicalized, bare "host/path" expressions pass as-is;
+// blank lines and #-comments are skipped). A rule fires when one client
+// queried every listed URL's prefix within the window — the paper's
+// "planning to submit a paper" inference:
+//
+//	sbanalyze -probe-store /tmp/sb-campaign-X -correlator rules.txt -since 2016-03-08
+//
 // Follow mode (-follow) tails a live store directory like `tail -f`:
 // every probe already on disk is delivered first, then probes are
 // streamed as the serving process spills them, until SIGINT/SIGTERM
@@ -78,6 +88,7 @@ func run() int {
 		since        = flag.String("since", "", "ignore probes before this time (RFC 3339 or 2006-01-02, UTC; replay/follow mode)")
 		until        = flag.String("until", "", "ignore probes at or after this time (RFC 3339 or 2006-01-02, UTC; replay/follow mode)")
 		longitudinal = flag.Bool("longitudinal", false, "also run the day-over-day cookie-linkage analysis (needs -index; replay mode)")
+		correlator   = flag.String("correlator", "", "rules file for the temporal-correlation analysis over the replayed window (replay mode; see the package comment for the line format)")
 		minShared    = flag.Int("min-shared", 0, "longitudinal: least shared profile elements per link (0 = default)")
 		minSharedURL = flag.Int("min-shared-urls", 0, "longitudinal: least shared exact URLs per link (0 = default, negative allows none)")
 		minLinkScore = flag.Float64("min-link-score", 0, "longitudinal: least overlap-coefficient score per link (0 = default)")
@@ -97,6 +108,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "sbanalyze: -longitudinal needs -probe-store and -index")
 		return 2
 	}
+	if *correlator != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "sbanalyze: -correlator needs -probe-store")
+		return 2
+	}
 	if *followDir != "" {
 		return runFollow(*followDir, *indexFile, *client, window)
 	}
@@ -106,7 +121,7 @@ func run() int {
 			MinSharedURLs: *minSharedURL,
 			MinLinkScore:  *minLinkScore,
 		}
-		return runReplay(*storeDir, *indexFile, *client, window, *longitudinal, linkage)
+		return runReplay(*storeDir, *indexFile, *client, window, *longitudinal, linkage, *correlator)
 	}
 	if *since != "" || *until != "" {
 		fmt.Fprintln(os.Stderr, "sbanalyze: -since/-until apply to -probe-store or -follow mode")
@@ -232,10 +247,26 @@ func parseWindow(since, until string) (func(time.Time) bool, error) {
 
 // runReplay is the -probe-store mode: open the log read-only, print the
 // store's shape, then run the re-identification analysis (with -index,
-// plus the day-over-day linkage with -longitudinal) or dump one
-// client's history (with -client). Only probes inside the -since/-until
-// window are analyzed.
-func runReplay(dir, indexFile, client string, window func(time.Time) bool, longitudinal bool, linkage core.LongitudinalConfig) int {
+// plus the day-over-day linkage with -longitudinal), dump one client's
+// history (with -client), and/or run the temporal-correlation rules of
+// a -correlator file. Only probes inside the -since/-until window are
+// analyzed.
+func runReplay(dir, indexFile, client string, window func(time.Time) bool, longitudinal bool, linkage core.LongitudinalConfig, correlatorFile string) int {
+	// Load the correlation rules before touching the store, so a bad
+	// rules file fails fast; the correlator then rides along whichever
+	// replay pass runs anyway instead of streaming the store twice.
+	var corrRules []core.CorrelationRule
+	var corr *core.Correlator
+	if correlatorFile != "" {
+		var err error
+		corrRules, err = loadRules(correlatorFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbanalyze: load rules %s: %v\n", correlatorFile, err)
+			return 1
+		}
+		corr = core.NewCorrelator(corrRules...)
+	}
+
 	store, err := probestore.Open(dir, probestore.ReadOnly())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
@@ -275,6 +306,7 @@ func runReplay(dir, indexFile, client string, window func(time.Time) bool, longi
 		}
 	}
 
+	corrFed := false
 	if indexFile != "" {
 		index, n, err := loadIndex(indexFile)
 		if err != nil {
@@ -294,11 +326,15 @@ func runReplay(dir, indexFile, client string, window func(time.Time) bool, longi
 			if long != nil {
 				long.Observe(p)
 			}
+			if corr != nil {
+				corr.Observe(p)
+			}
 			return nil
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sbanalyze: replay: %v\n", err)
 			return 1
 		}
+		corrFed = corr != nil
 		rep := analyzer.Report()
 		fmt.Fprintf(w, "\n== re-identification over %d indexed URLs (%d clients) ==\n", n, len(rep.Clients))
 		w.Flush() //nolint:errcheck // interleave report after table
@@ -314,17 +350,94 @@ func runReplay(dir, indexFile, client string, window func(time.Time) bool, longi
 		if err := store.Replay(func(p sbserver.Probe) error {
 			if window(p.Time) {
 				seen[p.ClientID] = struct{}{}
+				if corr != nil {
+					corr.Observe(p)
+				}
 			}
 			return nil
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sbanalyze: replay: %v\n", err)
 			return 1
 		}
+		corrFed = corr != nil
 		fmt.Fprintf(w, "distinct clients\t%d\t\n", len(seen))
 		fmt.Fprintln(w, "\n(pass -index urls.txt to run the re-identification analysis,")
 		fmt.Fprintln(w, " or -client COOKIE to dump one client's history)")
 	}
+
+	if corr != nil {
+		// Only a -client-only run reaches here without a full replay
+		// having fed the correlator (ClientHistory streams one cookie).
+		if !corrFed {
+			if err := store.Replay(func(p sbserver.Probe) error {
+				if window(p.Time) {
+					corr.Observe(p)
+				}
+				return nil
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "sbanalyze: replay: %v\n", err)
+				return 1
+			}
+		}
+		events := corr.Events()
+		fmt.Fprintf(w, "\n== temporal correlation (%d rules, %d events) ==\n", len(corrRules), len(events))
+		fmt.Fprintln(w, "rule\tclient\tfirst\tlast")
+		for _, e := range events {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", e.Rule, e.ClientID,
+				e.First.UTC().Format("2006-01-02T15:04:05Z"),
+				e.Last.UTC().Format("2006-01-02T15:04:05Z"))
+		}
+	}
 	return 0
+}
+
+// loadRules reads a correlation-rules file: one rule per line in the
+// form "NAME WINDOW URL [URL...]", where WINDOW is a Go duration
+// ("15m", "2h"). Blank lines and #-comments are skipped.
+func loadRules(path string) ([]core.CorrelationRule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-side close
+
+	var rules []core.CorrelationRule
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("line %d: want NAME WINDOW URL [URL...], got %q", line, text)
+		}
+		window, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad window %q: %w", line, fields[1], err)
+		}
+		exprs := make([]string, len(fields)-2)
+		for i, u := range fields[2:] {
+			if strings.Contains(u, "://") {
+				c, err := urlx.Canonicalize(u)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: url %q: %w", line, u, err)
+				}
+				u = c.String()
+			}
+			exprs[i] = u
+		}
+		rules = append(rules, core.NewCorrelationRule(fields[0], window, exprs...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("no rules found")
+	}
+	return rules, nil
 }
 
 // runFollow is the -follow mode: open the live store read-only and

@@ -1,8 +1,17 @@
 package main
 
 import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"sbprivacy/internal/core"
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/probestore"
+	"sbprivacy/internal/sbserver"
 )
 
 func TestParseWindow(t *testing.T) {
@@ -51,5 +60,123 @@ func TestParseWindowErrors(t *testing.T) {
 		if _, err := parseWindow(c[0], c[1]); err == nil {
 			t.Errorf("parseWindow(%q, %q): want error", c[0], c[1])
 		}
+	}
+}
+
+// writeRules writes a correlator rules file and returns its path.
+func writeRules(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestLoadRules(t *testing.T) {
+	t.Parallel()
+	path := writeRules(t, `
+# the paper's example inference
+paper-submit 1h http://cfp.example/ submit.example/deadline
+`)
+	rules, err := loadRules(path)
+	if err != nil {
+		t.Fatalf("loadRules: %v", err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("got %d rules, want 1", len(rules))
+	}
+	r := rules[0]
+	if r.Name != "paper-submit" || r.Window != time.Hour || len(r.Prefixes) != 2 {
+		t.Errorf("rule = %+v", r)
+	}
+}
+
+func TestLoadRulesErrors(t *testing.T) {
+	t.Parallel()
+	for name, content := range map[string]string{
+		"empty":      "\n# only a comment\n",
+		"short-line": "just-a-name 1h\n",
+		"bad-window": "r fortnight a.example/\n",
+		"bad-url":    "r 1h http:///no-host\n",
+	} {
+		path := writeRules(t, content)
+		if _, err := loadRules(path); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	if _, err := loadRules(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+// TestCorrelatorReplay is the -correlator satellite end to end: a probe
+// store holding one client that queried both rule URLs within the
+// window (and another that did not) replays into exactly one fired
+// correlation event, honoring the -since/-until window.
+func TestCorrelatorReplay(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	store, err := probestore.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	cfp := hashx.SumPrefix("cfp.example/")
+	submit := hashx.SumPrefix("submit.example/")
+	base := time.Date(2016, 3, 8, 10, 0, 0, 0, time.UTC)
+	for _, p := range []sbserver.Probe{
+		{Time: base, ClientID: "alice", Prefixes: []hashx.Prefix{cfp}},
+		{Time: base.Add(20 * time.Minute), ClientID: "alice", Prefixes: []hashx.Prefix{submit}},
+		{Time: base, ClientID: "bob", Prefixes: []hashx.Prefix{cfp}},
+		{Time: base.Add(3 * time.Hour), ClientID: "bob", Prefixes: []hashx.Prefix{submit}},
+	} {
+		store.Observe(p)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rules := writeRules(t, "paper-submit 1h http://cfp.example/ http://submit.example/\n")
+
+	capture := func(window func(time.Time) bool) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatalf("Pipe: %v", err)
+		}
+		os.Stdout = w
+		rc := runReplay(dir, "", "", window, false, core.LongitudinalConfig{}, rules)
+		w.Close() //nolint:errcheck // test pipe
+		os.Stdout = old
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("ReadAll: %v", err)
+		}
+		if rc != 0 {
+			t.Fatalf("runReplay = %d, output:\n%s", rc, out)
+		}
+		return string(out)
+	}
+
+	all, err := parseWindow("", "")
+	if err != nil {
+		t.Fatalf("parseWindow: %v", err)
+	}
+	out := capture(all)
+	if !strings.Contains(out, "1 events") || !strings.Contains(out, "paper-submit") || !strings.Contains(out, "alice") {
+		t.Errorf("full-window correlation output wrong:\n%s", out)
+	}
+	if strings.Contains(out, "bob") {
+		t.Errorf("bob fired despite 3h gap:\n%s", out)
+	}
+
+	// Windowing: exclude alice's second probe and nothing can fire.
+	early, err := parseWindow("", "2016-03-08T10:10:00Z")
+	if err != nil {
+		t.Fatalf("parseWindow: %v", err)
+	}
+	out = capture(early)
+	if !strings.Contains(out, "0 events") {
+		t.Errorf("windowed correlation should fire nothing:\n%s", out)
 	}
 }

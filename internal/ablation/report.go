@@ -1,0 +1,101 @@
+package ablation
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// delta renders a signed integer difference against the reference cell
+// ("—" for the reference itself).
+func delta(ref bool, d int) string {
+	if ref {
+		return "—"
+	}
+	return fmt.Sprintf("%+d", d)
+}
+
+// deltaF renders a signed float difference against the reference cell.
+func deltaF(ref bool, d float64) string {
+	if ref {
+		return "—"
+	}
+	return fmt.Sprintf("%+.2f", d)
+}
+
+// String renders the grid as the baseline-vs-mitigated delta table the
+// experiment exists for: privacy columns (linkage precision/recall,
+// re-identified cookies) with deltas against the first cell, then the
+// overhead columns (extra requests/prefixes/bytes, withheld lookups,
+// consent prompts). Dummy cells get a second table scoring the
+// informed provider that strips unindexed prefixes before analyzing.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mitigation ablation: %d-day campaign, %d clients, seed %d, %s churn — %d visits, %d linkable rotations\n",
+		r.Days, r.Clients, r.Seed, r.Churn, r.Events, r.Transitions)
+	fmt.Fprintf(&b, "cell stores under %s\n\n", r.StoreRoot)
+	if len(r.Cells) == 0 {
+		return b.String()
+	}
+	base := r.Cells[0]
+
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "cell\tlinks\tprec\trecall\tΔrecall\treident\tΔreident\tprobes\tΔreq\tΔprefixes\tΔbytes\twithheld\tconsent")
+	for i, c := range r.Cells {
+		ref := i == 0
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%s\t%d\t%s\t%d\t%s\t%s\t%s\t%d\t%d\n",
+			c.Cell.Name,
+			c.Naive.Linkage.Links,
+			c.Naive.Linkage.Precision,
+			c.Naive.Linkage.Recall,
+			deltaF(ref, c.Naive.Linkage.Recall-base.Naive.Linkage.Recall),
+			c.Naive.ReidentifiedCookies,
+			delta(ref, c.Naive.ReidentifiedCookies-base.Naive.ReidentifiedCookies),
+			c.Probes,
+			delta(ref, c.Overhead.Requests-base.Overhead.Requests),
+			delta(ref, c.Overhead.PrefixesSent-base.Overhead.PrefixesSent),
+			delta(ref, c.Overhead.WireBytes-base.Overhead.WireBytes),
+			c.Overhead.Withheld,
+			c.Overhead.ConsentPrompts,
+		)
+	}
+	w.Flush() //nolint:errcheck // strings.Builder cannot fail
+
+	informed := false
+	for _, c := range r.Cells {
+		if c.Informed != nil {
+			informed = true
+		}
+	}
+	if informed {
+		fmt.Fprintf(&b, "\ninformed provider (unindexed prefixes stripped before analysis):\n")
+		iw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(iw, "cell\tlinks\tprec\trecall\tΔrecall\treident\tΔreident")
+		for _, c := range r.Cells {
+			if c.Informed == nil {
+				continue
+			}
+			fmt.Fprintf(iw, "%s\t%d\t%.2f\t%.2f\t%s\t%d\t%s\n",
+				c.Cell.Name,
+				c.Informed.Linkage.Links,
+				c.Informed.Linkage.Precision,
+				c.Informed.Linkage.Recall,
+				deltaF(false, c.Informed.Linkage.Recall-base.Naive.Linkage.Recall),
+				c.Informed.ReidentifiedCookies,
+				delta(false, c.Informed.ReidentifiedCookies-base.Naive.ReidentifiedCookies),
+			)
+		}
+		iw.Flush() //nolint:errcheck // strings.Builder cannot fail
+	}
+
+	verified := 0
+	for _, c := range r.Cells {
+		if c.Verified {
+			verified++
+		}
+	}
+	if verified > 0 {
+		fmt.Fprintf(&b, "\ndeterminism: %d/%d cells re-run and reproduced deep-equal\n", verified, len(r.Cells))
+	}
+	return b.String()
+}

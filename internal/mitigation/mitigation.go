@@ -37,33 +37,65 @@ import (
 // (Section 8's differential-analysis requirement, after [Ved15]).
 func DummyPrefixes(real hashx.Prefix, k int) []hashx.Prefix {
 	out := make([]hashx.Prefix, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, dummyPrefix(real, i))
+	}
+	return out
+}
+
+// dummyPrefix is the i-th deterministic dummy derivation of a real
+// prefix: the 32-bit prefix of SHA-256(prefix bytes || i).
+func dummyPrefix(real hashx.Prefix, i int) hashx.Prefix {
 	var buf [hashx.PrefixSize + 4]byte
 	rb := real.Bytes()
 	copy(buf[:hashx.PrefixSize], rb[:])
-	for i := 0; i < k; i++ {
-		binary.BigEndian.PutUint32(buf[hashx.PrefixSize:], uint32(i))
-		out = append(out, hashx.Sum(string(buf[:])).Prefix())
-	}
-	return out
+	binary.BigEndian.PutUint32(buf[hashx.PrefixSize:], uint32(i))
+	return hashx.Sum(string(buf[:])).Prefix()
 }
 
 // AugmentRequest pads every real prefix with k dummies and returns the
 // combined set, sorted and deduplicated so the wire order leaks nothing
 // about which entries are real.
+//
+// Dummy derivation dedups against the full real set first: when a
+// derived dummy collides with a *different* real prefix of the batch,
+// the collision would otherwise silently absorb that real prefix's
+// padding slot — the batch would carry one dummy fewer than promised,
+// overstating its k-anonymity. Colliding derivations are skipped and
+// the derivation counter advances until k collision-free dummies exist
+// per real prefix, keeping the output deterministic for a given batch.
 func AugmentRequest(real []hashx.Prefix, k int) []hashx.Prefix {
+	realSet := make(map[hashx.Prefix]struct{}, len(real))
+	for _, p := range real {
+		realSet[p] = struct{}{}
+	}
 	seen := make(map[hashx.Prefix]struct{}, len(real)*(k+1))
 	out := make([]hashx.Prefix, 0, len(real)*(k+1))
-	add := func(p hashx.Prefix) {
+	add := func(p hashx.Prefix) bool {
 		if _, dup := seen[p]; dup {
-			return
+			return false
 		}
 		seen[p] = struct{}{}
 		out = append(out, p)
+		return true
 	}
 	for _, p := range real {
 		add(p)
-		for _, d := range DummyPrefixes(p, k) {
-			add(d)
+		// Derive until k distinct dummies survive both dedups: against
+		// the real set AND against dummies another real already
+		// contributed — either collision would otherwise shrink this
+		// prefix's padding below k. Each collision consumes one
+		// derivation index, and at most len(realSet)*(k+1) distinct
+		// values can collide, so the bound always suffices.
+		derived := 0
+		for i := 0; derived < k && i <= k+len(realSet)*(k+1); i++ {
+			d := dummyPrefix(p, i)
+			if _, isReal := realSet[d]; isReal {
+				continue
+			}
+			if add(d) {
+				derived++
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

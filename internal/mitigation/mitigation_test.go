@@ -63,6 +63,86 @@ func TestAugmentRequest(t *testing.T) {
 	}
 }
 
+// TestAugmentRequestDummyRealCollision is the regression for the slot-
+// absorption bug: when a derived dummy collides with a *different* real
+// prefix of the batch, the dummy must be re-derived rather than letting
+// the collision eat that real prefix's padding slot. The crafted batch
+// is [p, dummy0(p)] — the second real IS the first real's 0th dummy.
+func TestAugmentRequestDummyRealCollision(t *testing.T) {
+	t.Parallel()
+	p := hashx.Prefix(0xe70ee6d1)
+	collider := DummyPrefixes(p, 1)[0] // dummy0(p), posing as a real prefix
+	real := []hashx.Prefix{p, collider}
+
+	out := AugmentRequest(real, 1)
+	// Both reals, plus one collision-free dummy each: 4 distinct
+	// entries. The old behaviour silently emitted 3 — the collider
+	// doubled as p's only dummy.
+	if len(out) != 4 {
+		t.Fatalf("len = %d, want 4 (2 real + 2 collision-free dummies): %v", len(out), out)
+	}
+	has := func(p hashx.Prefix) bool {
+		for _, q := range out {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range real {
+		if !has(r) {
+			t.Errorf("real prefix %v missing", r)
+		}
+	}
+	// p's replacement dummy is the next derivation index (1, since
+	// index 0 collided), and the collider still gets its own dummy.
+	if !has(DummyPrefixes(p, 2)[1]) {
+		t.Error("p's replacement dummy (derivation index 1) missing")
+	}
+	if !has(DummyPrefixes(collider, 1)[0]) {
+		t.Error("collider's own dummy missing")
+	}
+	// No derived dummy equals any real prefix.
+	dummies := 0
+	for _, q := range out {
+		if q != p && q != collider {
+			dummies++
+		}
+	}
+	if dummies != 2 {
+		t.Errorf("dummy count = %d, want 2", dummies)
+	}
+}
+
+// TestAugmentRequestDummyDummyCollision: when two reals' derived
+// dummies collide with *each other* (found by birthday search:
+// dummyPrefix(48357, 0) == dummyPrefix(44608, 0)), the deduplicated
+// dummy must not consume a derivation slot — the second real re-derives
+// at the next index so both reals still carry k dummies.
+func TestAugmentRequestDummyDummyCollision(t *testing.T) {
+	t.Parallel()
+	p, q := hashx.Prefix(48357), hashx.Prefix(44608)
+	if DummyPrefixes(p, 1)[0] != DummyPrefixes(q, 1)[0] {
+		t.Fatal("test constants stale: expected dummy0(p) == dummy0(q)")
+	}
+	out := AugmentRequest([]hashx.Prefix{p, q}, 1)
+	// 2 reals + the shared dummy + q's re-derived dummy (index 1) = 4.
+	if len(out) != 4 {
+		t.Fatalf("len = %d, want 4: %v", len(out), out)
+	}
+	has := func(want hashx.Prefix) bool {
+		for _, got := range out {
+			if got == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(DummyPrefixes(q, 2)[1]) {
+		t.Error("q's replacement dummy (derivation index 1) missing")
+	}
+}
+
 // TestSingleKAnonymityGain: with an index-backed anonymity oracle, k
 // dummies multiply the candidate set roughly (k+1)-fold.
 func TestSingleKAnonymityGain(t *testing.T) {
@@ -167,6 +247,25 @@ func TestOnePrefixNeedsConsent(t *testing.T) {
 	}
 	if res.Requests != 1 {
 		t.Errorf("requests = %d, want 1 (root only)", res.Requests)
+	}
+	// The declined path must leave no residual leak: neither the
+	// checker's own leak accounting nor the provider's probe log may
+	// contain the exact-URL prefix.
+	pagePrefix := hashx.SumPrefix("evil.example/attack.html")
+	for _, p := range res.LeakedPrefixes {
+		if p == pagePrefix {
+			t.Error("needs-consent outcome leaked the exact-URL prefix")
+		}
+	}
+	f.server.Flush()
+	probes := f.server.Probes()
+	if len(probes) != 1 {
+		t.Fatalf("server saw %d probes, want 1 (root stage only)", len(probes))
+	}
+	for _, p := range probes[0].Prefixes {
+		if p == pagePrefix {
+			t.Error("provider received the exact-URL prefix despite declined consent")
+		}
 	}
 
 	// With consent the check completes and confirms the attack page.

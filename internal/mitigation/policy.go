@@ -1,0 +1,208 @@
+package mitigation
+
+import (
+	"sync"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbclient"
+	"sbprivacy/internal/urlx"
+	"sbprivacy/internal/wire"
+)
+
+// DummyPolicy implements sbclient.QueryPolicy with the deterministic
+// dummy-padding countermeasure: every full-hash request is augmented
+// with K dummies per real prefix (AugmentRequest), sorted so the wire
+// order leaks nothing about which entries are real. All real prefixes
+// still go out in one request — only the provider's candidate set is
+// widened.
+type DummyPolicy struct {
+	// K is the number of dummies derived per real prefix.
+	K int
+}
+
+var _ sbclient.QueryPolicy = DummyPolicy{}
+
+// Plan implements sbclient.QueryPolicy.
+func (d DummyPolicy) Plan(q sbclient.Query) sbclient.QueryPlan {
+	real := make([]hashx.Prefix, len(q.Prefixes))
+	for i, qp := range q.Prefixes {
+		real[i] = qp.Prefix
+	}
+	return &paddedPlan{stage: sbclient.Stage{
+		Send: AugmentRequest(real, d.K),
+		Real: real,
+	}}
+}
+
+// paddedPlan is a one-shot plan carrying a pre-padded stage.
+type paddedPlan struct {
+	stage sbclient.Stage
+	done  bool
+}
+
+func (p *paddedPlan) Next() (sbclient.Stage, bool) {
+	if p.done {
+		return sbclient.Stage{}, false
+	}
+	p.done = true
+	return p.stage, true
+}
+
+func (p *paddedPlan) Observe(sbclient.Stage, *wire.FullHashResponse) {}
+
+// ConsentOracle decides whether a lookup may send its remaining
+// prefixes when doing so would let the provider identify the exact URL
+// (the one-prefix-at-a-time strategy's stage-2 gate). Implementations
+// must be safe for concurrent use when shared across clients.
+type ConsentOracle interface {
+	// Consent is the user prompt: may the remaining prefixes of this
+	// canonical URL go out even though they identify it exactly?
+	Consent(canonicalURL string) bool
+}
+
+// ScriptedConsent is a deterministic ConsentOracle answering every
+// prompt the same way and counting how often it was asked — the
+// campaign ablation's stand-in for a real user, and the measure of how
+// intrusive the one-prefix strategy is in practice.
+type ScriptedConsent struct {
+	// Allow is the scripted answer to every prompt.
+	Allow bool
+
+	mu      sync.Mutex
+	prompts int
+}
+
+var _ ConsentOracle = (*ScriptedConsent)(nil)
+
+// Consent implements ConsentOracle.
+func (s *ScriptedConsent) Consent(string) bool {
+	s.mu.Lock()
+	s.prompts++
+	s.mu.Unlock()
+	return s.Allow
+}
+
+// Prompts returns how many times consent was requested.
+func (s *ScriptedConsent) Prompts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prompts
+}
+
+// OnePrefixPolicy implements sbclient.QueryPolicy with the paper's
+// one-prefix-at-a-time strategy: stage 1 sends only the root
+// decomposition's prefix; the remaining prefixes follow only when the
+// root answer left the verdict inconclusive AND either the pre-fetched
+// page shows Type I URLs (the provider then learns at most the domain)
+// or the user consents to the exact-URL leak. Withheld prefixes stay
+// unresolved — the client-side utility cost the ablation measures.
+type OnePrefixPolicy struct {
+	// HasTypeI simulates pre-fetching and crawling the target to detect
+	// Type I URLs. When nil, no Type I URLs are assumed and stage 2
+	// always needs consent.
+	HasTypeI func(canonicalURL string) bool
+	// Consent is the stage-2 gate; nil declines every prompt silently.
+	Consent ConsentOracle
+	// Dummies additionally pads every stage with this many dummies per
+	// real prefix (the two countermeasures compose).
+	Dummies int
+}
+
+var _ sbclient.QueryPolicy = (*OnePrefixPolicy)(nil)
+
+// Plan implements sbclient.QueryPolicy.
+func (p *OnePrefixPolicy) Plan(q sbclient.Query) sbclient.QueryPlan {
+	return &onePrefixPlan{policy: p, q: q}
+}
+
+// onePrefixPlan is the per-lookup state machine of OnePrefixPolicy.
+type onePrefixPlan struct {
+	policy *OnePrefixPolicy
+	q      sbclient.Query
+
+	stagesSent    int
+	rootIdx       int
+	rootConfirmed bool
+	finished      bool
+}
+
+// stageFor pads a batch of query prefixes per the policy's dummy knob.
+func (pl *onePrefixPlan) stageFor(batch []sbclient.QueryPrefix) sbclient.Stage {
+	real := make([]hashx.Prefix, len(batch))
+	for i, qp := range batch {
+		real[i] = qp.Prefix
+	}
+	send := real
+	if pl.policy.Dummies > 0 {
+		send = AugmentRequest(real, pl.policy.Dummies)
+	}
+	return sbclient.Stage{Send: send, Real: real}
+}
+
+func (pl *onePrefixPlan) Next() (sbclient.Stage, bool) {
+	if pl.finished || len(pl.q.Prefixes) == 0 {
+		return sbclient.Stage{}, false
+	}
+	if pl.q.CachedMalicious {
+		// The cache already confirmed a decomposition malicious — the
+		// paper's strategy stops here: resolving the remaining prefixes
+		// cannot change the warning, only leak the exact URL (or prompt
+		// the user pointlessly).
+		pl.finished = true
+		return sbclient.Stage{}, false
+	}
+	if pl.stagesSent == 0 {
+		pl.rootIdx = -1
+		for i, qp := range pl.q.Prefixes {
+			// Only a genuine domain-root decomposition may go out
+			// ungated: it reveals the site, never the exact URL. When
+			// the query has none (the root was answered from cache, or
+			// the domain itself is not blacklisted), everything left is
+			// URL-identifying and must pass the gate below.
+			if qp.Root && urlx.IsDomainDecomposition(qp.Expression) {
+				pl.rootIdx = i
+			}
+		}
+		if pl.rootIdx >= 0 {
+			// Stage 1: the root prefix only.
+			return pl.stageFor(pl.q.Prefixes[pl.rootIdx : pl.rootIdx+1]), true
+		}
+		pl.stagesSent++ // no ungated stage; fall through to the gate
+	}
+	pl.finished = true
+	if pl.rootConfirmed {
+		return sbclient.Stage{}, false // root already malicious: done
+	}
+	rest := make([]sbclient.QueryPrefix, 0, len(pl.q.Prefixes))
+	for i, qp := range pl.q.Prefixes {
+		if i != pl.rootIdx {
+			rest = append(rest, qp)
+		}
+	}
+	if len(rest) == 0 {
+		return sbclient.Stage{}, false
+	}
+	// Stage 2 gate: Type I ambiguity protects the client; otherwise the
+	// user must consent to the exact-URL leak.
+	hasTypeI := pl.policy.HasTypeI != nil && pl.policy.HasTypeI(pl.q.Canonical)
+	if !hasTypeI {
+		if pl.policy.Consent == nil || !pl.policy.Consent.Consent(pl.q.Canonical) {
+			return sbclient.Stage{}, false // withheld
+		}
+	}
+	return pl.stageFor(rest), true
+}
+
+func (pl *onePrefixPlan) Observe(stage sbclient.Stage, resp *wire.FullHashResponse) {
+	pl.stagesSent++
+	if pl.stagesSent != 1 {
+		return // only the root stage's answer steers the plan
+	}
+	rootDigest := hashx.Sum(pl.q.Prefixes[pl.rootIdx].Expression)
+	for _, e := range resp.Entries {
+		if e.Digest == rootDigest {
+			pl.rootConfirmed = true
+			return
+		}
+	}
+}

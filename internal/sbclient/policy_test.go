@@ -1,0 +1,185 @@
+package sbclient
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/wire"
+)
+
+// recordingTransport captures every full-hash request for byte-level
+// accounting checks.
+type recordingTransport struct {
+	inner Transport
+	reqs  []*wire.FullHashRequest
+}
+
+func (r *recordingTransport) Download(ctx context.Context, req *wire.DownloadRequest) (*wire.DownloadResponse, error) {
+	return r.inner.Download(ctx, req)
+}
+
+func (r *recordingTransport) FullHashes(ctx context.Context, req *wire.FullHashRequest) (*wire.FullHashResponse, error) {
+	cp := *req
+	cp.Prefixes = append([]hashx.Prefix(nil), req.Prefixes...)
+	r.reqs = append(r.reqs, &cp)
+	return r.inner.FullHashes(ctx, req)
+}
+
+// padPolicy is a test QueryPolicy padding every request with fixed
+// dummies, one stage per real prefix — exercising staging, padding and
+// stats accounting without importing internal/mitigation (which would
+// cycle).
+type padPolicy struct {
+	dummies []hashx.Prefix
+}
+
+func (p padPolicy) Plan(q Query) QueryPlan {
+	return &padPlan{policy: p, q: q}
+}
+
+type padPlan struct {
+	policy padPolicy
+	q      Query
+	next   int
+}
+
+func (pl *padPlan) Next() (Stage, bool) {
+	if pl.next >= len(pl.q.Prefixes) {
+		return Stage{}, false
+	}
+	real := []hashx.Prefix{pl.q.Prefixes[pl.next].Prefix}
+	pl.next++
+	return Stage{Send: append(append([]hashx.Prefix(nil), real...), pl.policy.dummies...), Real: real}, true
+}
+
+func (pl *padPlan) Observe(Stage, *wire.FullHashResponse) {}
+
+// muteQueryPolicy withholds everything: no stage is ever sent.
+type muteQueryPolicy struct{}
+
+func (muteQueryPolicy) Plan(Query) QueryPlan { return mutePlan{} }
+
+type mutePlan struct{}
+
+func (mutePlan) Next() (Stage, bool)                   { return Stage{}, false }
+func (mutePlan) Observe(Stage, *wire.FullHashResponse) {}
+
+// TestPolicyStatsAccounting: real and dummy prefix counters must sum to
+// the wire totals, and WireBytes must equal the encoded size of every
+// request actually sent.
+func TestPolicyStatsAccounting(t *testing.T) {
+	t.Parallel()
+	dummies := []hashx.Prefix{0xdead0001, 0xdead0002}
+	f := newFixture(t, WithQueryPolicy(padPolicy{dummies: dummies}))
+	rec := &recordingTransport{inner: f.client.transport}
+	f.client.transport = rec
+	f.blacklist(t, "evil.example/", "evil.example/attack.html")
+
+	v, err := f.client.CheckURL(context.Background(), "http://evil.example/attack.html")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if v.Safe {
+		t.Error("blacklisted URL judged safe under padding policy")
+	}
+
+	st := f.client.Stats()
+	if st.RealPrefixesSent+st.DummyPrefixesSent != st.PrefixesSent {
+		t.Errorf("real %d + dummy %d != total %d",
+			st.RealPrefixesSent, st.DummyPrefixesSent, st.PrefixesSent)
+	}
+	// One stage per real prefix, each padded with 2 dummies.
+	if st.RealPrefixesSent != 2 || st.DummyPrefixesSent != 4 {
+		t.Errorf("real/dummy = %d/%d, want 2/4", st.RealPrefixesSent, st.DummyPrefixesSent)
+	}
+	if st.FullHashRequests != len(rec.reqs) {
+		t.Errorf("FullHashRequests = %d, transport saw %d", st.FullHashRequests, len(rec.reqs))
+	}
+	wantBytes := 0
+	for _, req := range rec.reqs {
+		var buf bytes.Buffer
+		if err := req.Encode(&buf); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		wantBytes += buf.Len()
+	}
+	if st.WireBytes != wantBytes {
+		t.Errorf("WireBytes = %d, want %d (sum of encoded requests)", st.WireBytes, wantBytes)
+	}
+	if st.PrefixesWithheld != 0 {
+		t.Errorf("PrefixesWithheld = %d, want 0", st.PrefixesWithheld)
+	}
+}
+
+// TestPolicyWithholding: a policy that sends nothing leaves the lookup
+// unresolved-but-safe, leaks nothing, and counts the withheld reals.
+func TestPolicyWithholding(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, WithQueryPolicy(muteQueryPolicy{}))
+	f.blacklist(t, "evil.example/attack.html")
+
+	v, err := f.client.CheckURL(context.Background(), "http://evil.example/attack.html")
+	if err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	if !v.Safe {
+		t.Error("withheld lookup must stay unconfirmed (safe)")
+	}
+	if len(v.SentPrefixes) != 0 {
+		t.Errorf("SentPrefixes = %v, want none", v.SentPrefixes)
+	}
+	if len(v.WithheldPrefixes) != 1 {
+		t.Errorf("WithheldPrefixes = %v, want the one real hit", v.WithheldPrefixes)
+	}
+	st := f.client.Stats()
+	if st.PrefixesWithheld != 1 || st.FullHashRequests != 0 || st.PrefixesSent != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	f.server.Flush()
+	if got := len(f.server.Probes()); got != 0 {
+		t.Errorf("server saw %d probes despite withholding", got)
+	}
+}
+
+// TestNilPolicyBaseline: without a policy every sent prefix is real and
+// wire bytes are still tallied.
+func TestNilPolicyBaseline(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.blacklist(t, "evil.example/attack.html")
+	if _, err := f.client.CheckURL(context.Background(), "http://evil.example/attack.html"); err != nil {
+		t.Fatalf("CheckURL: %v", err)
+	}
+	st := f.client.Stats()
+	if st.DummyPrefixesSent != 0 || st.RealPrefixesSent != st.PrefixesSent || st.PrefixesSent == 0 {
+		t.Errorf("baseline stats = %+v", st)
+	}
+	if st.WireBytes == 0 {
+		t.Error("baseline WireBytes not counted")
+	}
+}
+
+// TestBuildQueryRoot: the broadest (registrable-domain) decomposition
+// is marked Root; without one, the last hit is.
+func TestBuildQueryRoot(t *testing.T) {
+	t.Parallel()
+	exprOf := map[hashx.Prefix]string{
+		1: "evil.example/attack.html",
+		2: "evil.example/",
+	}
+	q := buildQuery("evil.example/attack.html", exprOf, []hashx.Prefix{1, 2}, false)
+	roots := 0
+	for _, qp := range q.Prefixes {
+		if qp.Root {
+			roots++
+			if qp.Expression != "evil.example/" {
+				t.Errorf("root = %q, want the domain root", qp.Expression)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Errorf("marked %d roots, want exactly 1", roots)
+	}
+}

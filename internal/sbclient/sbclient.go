@@ -60,13 +60,26 @@ type cacheEntry struct {
 
 // Stats counts the client's observable traffic, used by the mitigation
 // ablations: privacy exposure is proportional to full-hash requests and
-// prefixes sent.
+// prefixes sent. With a QueryPolicy installed the wire traffic splits
+// into real and dummy portions; without one every sent prefix is real.
 type Stats struct {
 	Lookups          int
 	LocalHits        int
 	FullHashRequests int
-	PrefixesSent     int
-	CacheHits        int
+	// PrefixesSent is the total number of prefixes put on the wire,
+	// reals and dummies together: RealPrefixesSent + DummyPrefixesSent.
+	PrefixesSent int
+	// RealPrefixesSent counts wire prefixes the lookup genuinely needed.
+	RealPrefixesSent int
+	// DummyPrefixesSent counts policy padding the provider also saw.
+	DummyPrefixesSent int
+	// PrefixesWithheld counts real prefixes a policy refused to send
+	// (e.g. consent declined); the lookup left them unresolved.
+	PrefixesWithheld int
+	// WireBytes is the total encoded size of every full-hash request
+	// sent — the bandwidth cost mitigation overhead is measured in.
+	WireBytes int
+	CacheHits int
 }
 
 // Client is a Safe Browsing client. Safe for concurrent use.
@@ -83,6 +96,9 @@ type Client struct {
 	consecutiveUpdateFailures int
 	stats                     Stats
 	newStore                  StoreFactory
+	// policy is the privacy middleware applied to full-hash traffic;
+	// nil sends every real prefix in one request.
+	policy QueryPolicy
 }
 
 // Option configures a Client.
@@ -235,8 +251,14 @@ type Verdict struct {
 	// confirmed or not.
 	LocalHits []LocalHit
 	// SentPrefixes are the prefixes revealed to the provider by this
-	// lookup (empty when the local database missed or the cache answered).
+	// lookup, across every policy stage, dummies included (empty when
+	// the local database missed or the cache answered).
 	SentPrefixes []hashx.Prefix
+	// WithheldPrefixes are real prefixes the query policy refused to
+	// send while the verdict stayed Safe: their decompositions are
+	// unconfirmed, not cleared. Empty when a match was confirmed anyway
+	// (unresolved prefixes were simply unneeded then).
+	WithheldPrefixes []hashx.Prefix
 	// FromCache is true when all hits were answered by the full-hash
 	// cache without contacting the provider.
 	FromCache bool
@@ -279,8 +301,10 @@ func (c *Client) CheckURL(ctx context.Context, rawURL string) (*Verdict, error) 
 	now := c.now()
 	entriesByPrefix := make(map[hashx.Prefix][]wire.FullHashEntry, len(hits))
 	var toQuery []hashx.Prefix
+	exprOf := make(map[hashx.Prefix]string, len(hits))
 	seen := make(map[hashx.Prefix]struct{}, len(hits))
 	cacheAnswered := true
+	cachedMalicious := false
 	for _, h := range hits {
 		if _, dup := seen[h.prefix]; dup {
 			continue
@@ -289,41 +313,97 @@ func (c *Client) CheckURL(ctx context.Context, rawURL string) (*Verdict, error) 
 		if entry, ok := c.cache[h.prefix]; ok && now.Before(entry.expiresAt) {
 			entriesByPrefix[h.prefix] = entry.entries
 			c.stats.CacheHits++
+			if c.policy != nil && !cachedMalicious {
+				// Tell the policy when the cache already settles the
+				// verdict, so withholding strategies can stop instead
+				// of prompting for outcome-irrelevant prefixes.
+				full := hashx.Sum(h.expr)
+				for _, e := range entry.entries {
+					if e.Digest == full {
+						cachedMalicious = true
+						break
+					}
+				}
+			}
 			continue
 		}
 		cacheAnswered = false
 		toQuery = append(toQuery, h.prefix)
+		exprOf[h.prefix] = h.expr
 	}
 	cookie := c.cookie
+	policy := c.policy
 	c.mu.Unlock()
 
+	var unresolved []hashx.Prefix
 	if len(toQuery) > 0 {
-		resp, err := c.transport.FullHashes(ctx, &wire.FullHashRequest{
-			ClientID: cookie,
-			Prefixes: toQuery,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("sbclient: fullhashes: %w", err)
+		// The policy seam: the plan decides what reaches the wire —
+		// everything at once (nil policy), padded, staged, or withheld.
+		var plan QueryPlan
+		if policy == nil {
+			plan = &singleStagePlan{stage: Stage{Send: toQuery, Real: toQuery}}
+		} else {
+			plan = policy.Plan(buildQuery(canon.String(), exprOf, toQuery, cachedMalicious))
 		}
-		v.SentPrefixes = toQuery
-
-		c.mu.Lock()
-		c.stats.FullHashRequests++
-		c.stats.PrefixesSent += len(toQuery)
-		ttl := time.Duration(resp.CacheSeconds) * time.Second
-		fresh := make(map[hashx.Prefix][]wire.FullHashEntry, len(toQuery))
+		needed := make(map[hashx.Prefix]struct{}, len(toQuery))
 		for _, p := range toQuery {
-			fresh[p] = []wire.FullHashEntry{} // negative entries cache too
+			needed[p] = struct{}{}
 		}
-		for _, e := range resp.Entries {
-			p := e.Digest.Prefix()
-			fresh[p] = append(fresh[p], e)
+		resolved := make(map[hashx.Prefix]struct{}, len(toQuery))
+		for {
+			stage, ok := plan.Next()
+			if !ok {
+				break
+			}
+			if len(stage.Send) == 0 {
+				continue
+			}
+			req := &wire.FullHashRequest{ClientID: cookie, Prefixes: stage.Send}
+			resp, err := c.transport.FullHashes(ctx, req)
+			if err != nil {
+				return nil, fmt.Errorf("sbclient: fullhashes: %w", err)
+			}
+			v.SentPrefixes = append(v.SentPrefixes, stage.Send...)
+
+			// Only real prefixes of this lookup are cached and counted
+			// as real; anything else the policy sent is dummy traffic.
+			real := make([]hashx.Prefix, 0, len(stage.Real))
+			for _, p := range stage.Real {
+				if _, ok := needed[p]; ok {
+					real = append(real, p)
+					resolved[p] = struct{}{}
+				}
+			}
+			c.mu.Lock()
+			c.stats.FullHashRequests++
+			c.stats.PrefixesSent += len(stage.Send)
+			c.stats.RealPrefixesSent += len(real)
+			c.stats.DummyPrefixesSent += len(stage.Send) - len(real)
+			c.stats.WireBytes += requestWireBytes(req)
+			ttl := time.Duration(resp.CacheSeconds) * time.Second
+			fresh := make(map[hashx.Prefix][]wire.FullHashEntry, len(real))
+			for _, p := range real {
+				fresh[p] = []wire.FullHashEntry{} // negative entries cache too
+			}
+			for _, e := range resp.Entries {
+				p := e.Digest.Prefix()
+				if _, ok := fresh[p]; ok {
+					fresh[p] = append(fresh[p], e)
+				}
+			}
+			for p, es := range fresh {
+				c.cache[p] = cacheEntry{entries: es, expiresAt: c.now().Add(ttl)}
+				entriesByPrefix[p] = es
+			}
+			c.mu.Unlock()
+			plan.Observe(stage, resp)
 		}
-		for p, es := range fresh {
-			c.cache[p] = cacheEntry{entries: es, expiresAt: c.now().Add(ttl)}
-			entriesByPrefix[p] = es
+		unresolved = make([]hashx.Prefix, 0, len(toQuery))
+		for _, p := range toQuery {
+			if _, ok := resolved[p]; !ok {
+				unresolved = append(unresolved, p)
+			}
 		}
-		c.mu.Unlock()
 	}
 	v.FromCache = cacheAnswered
 
@@ -340,6 +420,17 @@ func (c *Client) CheckURL(ctx context.Context, rawURL string) (*Verdict, error) 
 				})
 			}
 		}
+	}
+	// Withheld accounting: a prefix the policy left unresolved only
+	// counts as withheld when the verdict stayed Safe — an unresolved
+	// prefix behind a lookup already confirmed malicious was simply
+	// unneeded (e.g. the one-prefix strategy stopping after a malicious
+	// root), not a utility loss.
+	if v.Safe && len(unresolved) > 0 {
+		v.WithheldPrefixes = unresolved
+		c.mu.Lock()
+		c.stats.PrefixesWithheld += len(unresolved)
+		c.mu.Unlock()
 	}
 	return v, nil
 }

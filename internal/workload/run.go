@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"sbprivacy/internal/hashx"
 	"sbprivacy/internal/sbclient"
 	"sbprivacy/internal/sbserver"
 )
@@ -22,13 +23,40 @@ type RunStats struct {
 	// Lookups, LocalHits, FullHashRequests, PrefixesSent and CacheHits
 	// aggregate the client-side counters across the population.
 	Lookups, LocalHits, FullHashRequests, PrefixesSent, CacheHits int
+	// RealPrefixesSent, DummyPrefixesSent, PrefixesWithheld and
+	// WireBytes split the wire traffic by a query policy's doing; in a
+	// policy-less run every sent prefix is real and nothing is withheld.
+	RealPrefixesSent, DummyPrefixesSent, PrefixesWithheld, WireBytes int
 }
 
 // String renders the run summary.
 func (st *RunStats) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"run: %d visits by %d synced cookies; %d local hits, %d full-hash requests (%d prefixes, %d cache hits); provider recorded %d probes",
 		st.Events, st.Updates, st.LocalHits, st.FullHashRequests, st.PrefixesSent, st.CacheHits, st.Probes)
+	if st.DummyPrefixesSent > 0 || st.PrefixesWithheld > 0 {
+		s += fmt.Sprintf("\npolicy: %d real + %d dummy prefixes on the wire (%d bytes), %d withheld",
+			st.RealPrefixesSent, st.DummyPrefixesSent, st.WireBytes, st.PrefixesWithheld)
+	}
+	return s
+}
+
+// PolicyFactory builds the sbclient.QueryPolicy installed on each
+// campaign client as its cookie first acts; returning nil gives that
+// client the vanilla (policy-less) behaviour. Factories must be
+// deterministic — same cookie, same policy behaviour — or same-seed
+// runs stop being byte-identical.
+type PolicyFactory func(cookie string) sbclient.QueryPolicy
+
+// RunOptions configures a campaign run beyond its probe sinks.
+type RunOptions struct {
+	// Policy equips every client with a privacy policy; nil runs the
+	// vanilla client (the mitigation-ablation baseline).
+	Policy PolicyFactory
+	// Sinks subscribe to the provider's probe stream (a probe store, a
+	// live analyzer, a longitudinal correlator, ...). Nil entries are
+	// skipped.
+	Sinks []sbserver.ProbeSink
 }
 
 // Run executes the campaign against a freshly built provider: it
@@ -48,6 +76,14 @@ func (st *RunStats) String() string {
 // barrier per visit — campaigns trade the sharded server's concurrency
 // for reproducibility, which is what a comparable experiment needs.
 func (c *Campaign) Run(ctx context.Context, sinks ...sbserver.ProbeSink) (*RunStats, error) {
+	return c.RunWith(ctx, RunOptions{Sinks: sinks})
+}
+
+// RunWith is Run with a client-side query policy installed on every
+// client — the mitigation-ablation entry point. The determinism
+// contract is unchanged: with a deterministic policy factory, two
+// same-seed RunWith runs are byte-identical per cell.
+func (c *Campaign) RunWith(ctx context.Context, opts RunOptions) (*RunStats, error) {
 	clock := NewClock(c.Config.Start)
 	server := sbserver.New(
 		sbserver.WithClock(clock.Now),
@@ -61,7 +97,16 @@ func (c *Campaign) Run(ctx context.Context, sinks ...sbserver.ProbeSink) (*RunSt
 	if err := server.AddExpressions(c.Config.List, c.BlacklistExpressions()); err != nil {
 		return nil, err
 	}
-	for _, sink := range sinks {
+	if orphans := c.OrphanRootExpressions(); len(orphans) > 0 {
+		prefixes := make([]hashx.Prefix, len(orphans))
+		for i, e := range orphans {
+			prefixes[i] = hashx.SumPrefix(e)
+		}
+		if err := server.AddOrphanPrefixes(c.Config.List, prefixes); err != nil {
+			return nil, err
+		}
+	}
+	for _, sink := range opts.Sinks {
 		if sink != nil {
 			server.Subscribe(sink)
 		}
@@ -78,8 +123,15 @@ func (c *Campaign) Run(ctx context.Context, sinks ...sbserver.ProbeSink) (*RunSt
 		clock.Set(ev.Time)
 		cl := clients[ev.Cookie]
 		if cl == nil {
-			cl = sbclient.New(transport, []string{c.Config.List},
-				sbclient.WithCookie(ev.Cookie), sbclient.WithClock(clock.Now))
+			clOpts := []sbclient.Option{
+				sbclient.WithCookie(ev.Cookie), sbclient.WithClock(clock.Now),
+			}
+			if opts.Policy != nil {
+				if p := opts.Policy(ev.Cookie); p != nil {
+					clOpts = append(clOpts, sbclient.WithQueryPolicy(p))
+				}
+			}
+			cl = sbclient.New(transport, []string{c.Config.List}, clOpts...)
 			clients[ev.Cookie] = cl
 			clientOrder = append(clientOrder, cl)
 			if err := cl.Update(ctx, true); err != nil {
@@ -106,6 +158,10 @@ func (c *Campaign) Run(ctx context.Context, sinks ...sbserver.ProbeSink) (*RunSt
 		stats.FullHashRequests += cs.FullHashRequests
 		stats.PrefixesSent += cs.PrefixesSent
 		stats.CacheHits += cs.CacheHits
+		stats.RealPrefixesSent += cs.RealPrefixesSent
+		stats.DummyPrefixesSent += cs.DummyPrefixesSent
+		stats.PrefixesWithheld += cs.PrefixesWithheld
+		stats.WireBytes += cs.WireBytes
 	}
 	return stats, nil
 }

@@ -5,11 +5,14 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
 
+	"sbprivacy/internal/mitigation"
 	"sbprivacy/internal/probestore"
+	"sbprivacy/internal/sbclient"
 	"sbprivacy/internal/sbserver"
 )
 
@@ -167,5 +170,70 @@ func TestRunHonorsContext(t *testing.T) {
 	cancel()
 	if _, err := camp.Run(ctx); err == nil {
 		t.Error("Run with cancelled context: want error")
+	}
+}
+
+// runPolicyIntoStore runs the test campaign under a dummy-padding
+// policy into dir.
+func runPolicyIntoStore(t *testing.T, dir string) *RunStats {
+	t.Helper()
+	camp, err := Generate(testConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	store, err := probestore.Open(dir,
+		probestore.WithMaxSegmentBytes(1024),
+		probestore.WithSpillThreshold(256))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	stats, err := camp.RunWith(context.Background(), RunOptions{
+		Policy: func(string) sbclient.QueryPolicy { return mitigation.DummyPolicy{K: 2} },
+		Sinks:  []sbserver.ProbeSink{store},
+	})
+	if err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("store.Close: %v", err)
+	}
+	return stats
+}
+
+// TestRunWithPolicyByteIdentical extends the determinism guarantee to
+// policy-equipped runs: two same-seed runs under the same deterministic
+// policy persist byte-identical stores — the property every ablation
+// cell relies on.
+func TestRunWithPolicyByteIdentical(t *testing.T) {
+	t.Parallel()
+	dirA, dirB := t.TempDir(), t.TempDir()
+	statsA := runPolicyIntoStore(t, dirA)
+	statsB := runPolicyIntoStore(t, dirB)
+	if !reflect.DeepEqual(statsA, statsB) {
+		t.Fatalf("run stats differ: %+v vs %+v", statsA, statsB)
+	}
+	if statsA.DummyPrefixesSent == 0 {
+		t.Fatal("dummy policy sent no dummies")
+	}
+	if statsA.RealPrefixesSent+statsA.DummyPrefixesSent != statsA.PrefixesSent {
+		t.Fatalf("real %d + dummy %d != total %d",
+			statsA.RealPrefixesSent, statsA.DummyPrefixesSent, statsA.PrefixesSent)
+	}
+	filesA, filesB := storeFiles(t, dirA), storeFiles(t, dirB)
+	if len(filesA) != len(filesB) {
+		t.Fatalf("file sets differ: %d vs %d files", len(filesA), len(filesB))
+	}
+	for n, a := range filesA {
+		if !bytes.Equal(a, filesB[n]) {
+			t.Errorf("file %s differs between same-seed policy runs", n)
+		}
+	}
+	// A policy run must also differ from the vanilla run: the padding
+	// reaches the wire.
+	dirC := t.TempDir()
+	vanilla := runIntoStore(t, dirC)
+	if vanilla.PrefixesSent >= statsA.PrefixesSent {
+		t.Errorf("padded run sent %d prefixes, vanilla %d — padding missing",
+			statsA.PrefixesSent, vanilla.PrefixesSent)
 	}
 }

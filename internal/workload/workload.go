@@ -65,6 +65,53 @@ func (k ProfileKind) String() string {
 	}
 }
 
+// ChurnSchedule selects when a churning user rotates its Safe Browsing
+// cookie. The zero value is ChurnDaily, the original campaign
+// behaviour, so existing seeds generate unchanged campaigns.
+type ChurnSchedule int
+
+// The churn schedules a campaign can impose on its churning users.
+const (
+	// ChurnDaily rotates every churner's cookie at every midnight.
+	ChurnDaily ChurnSchedule = iota
+	// ChurnWeekly rotates at every 7th midnight (days 7, 14, ...).
+	ChurnWeekly
+	// ChurnRandom rotates each churner independently with probability
+	// 1/2 at each midnight — rotation days differ per user.
+	ChurnRandom
+	// ChurnCoordinated rotates every churner on the same fleet-wide
+	// rotation days (each midnight is a fleet rotation with probability
+	// 1/3), the same-day mass reset a coordinated privacy tool or a
+	// browser update would produce.
+	ChurnCoordinated
+)
+
+// String names the schedule.
+func (s ChurnSchedule) String() string {
+	switch s {
+	case ChurnDaily:
+		return "daily"
+	case ChurnWeekly:
+		return "weekly"
+	case ChurnRandom:
+		return "random"
+	case ChurnCoordinated:
+		return "coordinated"
+	default:
+		return fmt.Sprintf("ChurnSchedule(%d)", int(s))
+	}
+}
+
+// ParseChurnSchedule maps a schedule name back to its value.
+func ParseChurnSchedule(name string) (ChurnSchedule, error) {
+	for _, s := range []ChurnSchedule{ChurnDaily, ChurnWeekly, ChurnRandom, ChurnCoordinated} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown churn schedule %q (want daily, weekly, random or coordinated)", name)
+}
+
 // Config parametrizes campaign generation. Zero fields take the
 // defaults documented per field; the zero Config is a valid small
 // campaign.
@@ -92,6 +139,9 @@ type Config struct {
 	// List is the provider's blacklist name (default
 	// "goog-malware-shavar").
 	List string
+	// Churn is the churning profile's cookie-rotation schedule (zero:
+	// ChurnDaily, the original behaviour).
+	Churn ChurnSchedule
 }
 
 // withDefaults fills zero fields and validates the rest.
@@ -120,7 +170,26 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RiskyFraction < 0 || c.RiskyFraction > 1 {
 		return c, fmt.Errorf("workload: RiskyFraction %v outside [0,1]", c.RiskyFraction)
 	}
+	if c.Churn < ChurnDaily || c.Churn > ChurnCoordinated {
+		return c, fmt.Errorf("workload: unknown churn schedule %d", c.Churn)
+	}
 	return c, nil
+}
+
+// churnTag is the cookie-suffix letter encoding the schedule, so the
+// ground-truth cookie names stay self-describing ("u0042.d03" is user
+// 42's 3rd daily rotation; "u0042.w01" its 1st weekly one).
+func churnTag(s ChurnSchedule) byte {
+	switch s {
+	case ChurnWeekly:
+		return 'w'
+	case ChurnRandom:
+		return 'r'
+	case ChurnCoordinated:
+		return 'c'
+	default:
+		return 'd'
+	}
 }
 
 // Site is one synthetic website.
@@ -132,6 +201,14 @@ type Site struct {
 	// Risky is true when the provider blacklists this site's pages (and
 	// its root expression), so visits to it leak probes.
 	Risky bool
+	// OrphanRoot is true for the risky sites whose root expression is
+	// blacklisted as a digest-less orphan prefix (the paper's Section 7
+	// orphans): clients still hit and probe on the root, but the
+	// full-hash answer can never confirm it. These sites are what makes
+	// the one-prefix-at-a-time mitigation face its stage-2 dilemma
+	// inside a campaign — the root answer is inconclusive while a deep
+	// page is genuinely blacklisted.
+	OrphanRoot bool
 }
 
 // User is one synthetic client with its behavioural ground truth.
@@ -281,7 +358,28 @@ func Generate(cfg Config) (*Campaign, error) {
 				pages = append(pages, fmt.Sprintf("%s/section/item%d", domain, p))
 			}
 		}
-		c.Sites = append(c.Sites, Site{Domain: domain, Pages: pages, Risky: i < riskyCount})
+		// Every 4th risky site gets an orphan root (chosen by index, no
+		// extra rng draw, so the master stream — and with it every
+		// previously generated campaign — is unchanged).
+		risky := i < riskyCount
+		c.Sites = append(c.Sites, Site{
+			Domain: domain, Pages: pages, Risky: risky,
+			OrphanRoot: risky && i%4 == 0,
+		})
+	}
+
+	// Coordinated churn rotates the whole fleet on the same days, so
+	// the rotation days come from the master stream, before any user is
+	// generated — adding users never moves them. The draw is gated on
+	// the schedule so every other schedule keeps the exact master
+	// stream (and therefore the exact campaign) it produced before this
+	// knob existed.
+	var coordRotation []bool
+	if cfg.Churn == ChurnCoordinated {
+		coordRotation = make([]bool, cfg.Days)
+		for day := 1; day < cfg.Days; day++ {
+			coordRotation[day] = rng.Float64() < 1.0/3
+		}
 	}
 
 	// The population. Each user gets its own rng seeded from the master
@@ -311,10 +409,27 @@ func Generate(cfg Config) (*Campaign, error) {
 		if pp.period > 0 {
 			pp.period += urng.Intn(2) // every 2nd or 3rd day
 		}
+		epoch := 0
 		for day := 0; day < cfg.Days; day++ {
+			if kind == ProfileChurning && day > 0 {
+				rotate := false
+				switch cfg.Churn {
+				case ChurnWeekly:
+					rotate = day%7 == 0
+				case ChurnRandom:
+					rotate = urng.Float64() < 0.5
+				case ChurnCoordinated:
+					rotate = coordRotation[day]
+				default: // ChurnDaily
+					rotate = true
+				}
+				if rotate {
+					epoch++
+				}
+			}
 			cookie := base
 			if kind == ProfileChurning {
-				cookie = fmt.Sprintf("%s.d%02d", base, day)
+				cookie = fmt.Sprintf("%s.%c%02d", base, churnTag(cfg.Churn), epoch)
 			}
 			user.Cookies = append(user.Cookies, cookie)
 			c.cookieUser[cookie] = u
@@ -362,14 +477,37 @@ func Generate(cfg Config) (*Campaign, error) {
 }
 
 // BlacklistExpressions returns the canonical expressions the provider
-// blacklists: every page of every risky site (the root page doubles as
-// the site's root expression, so a visit to a risky inner page sends
-// at least two prefixes — the multi-prefix re-identification scenario).
+// blacklists in full (prefix and digest): every page of every risky
+// site (the root page doubles as the site's root expression, so a
+// visit to a risky inner page sends at least two prefixes — the
+// multi-prefix re-identification scenario), except the orphan-rooted
+// sites' root pages, which are prefix-only (see OrphanRootExpressions).
 func (c *Campaign) BlacklistExpressions() []string {
 	var out []string
 	for _, s := range c.Sites {
-		if s.Risky {
-			out = append(out, s.Pages...)
+		if !s.Risky {
+			continue
+		}
+		for i, p := range s.Pages {
+			if i == 0 && s.OrphanRoot {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OrphanRootExpressions returns the root expressions blacklisted as
+// digest-less orphan prefixes: clients hit and probe on them, but the
+// provider's answer never confirms, leaving the lookup inconclusive —
+// the campaign's stand-in for the orphans the paper found in real
+// lists, and the trigger for the one-prefix mitigation's consent path.
+func (c *Campaign) OrphanRootExpressions() []string {
+	var out []string
+	for _, s := range c.Sites {
+		if s.Risky && s.OrphanRoot {
+			out = append(out, s.Pages[0])
 		}
 	}
 	return out
@@ -401,8 +539,11 @@ func (c *Campaign) SameUser(a, b string) bool {
 
 // ChurnTransitions counts the ground-truth linkable cookie rotations: a
 // churner active (with at least one risky visit, i.e. at least one
-// probe) on two consecutive days rotated its cookie between them. This
-// is the denominator for a linkage analysis's recall.
+// probe) on two consecutive days whose cookie rotated between them.
+// Under ChurnDaily every consecutive active pair rotates; under the
+// other schedules only the midnights the schedule actually fired count,
+// so the tally stays exact for every schedule. This is the denominator
+// for a linkage analysis's recall.
 func (c *Campaign) ChurnTransitions() int {
 	risky := make(map[string]bool)
 	for _, s := range c.Sites {
@@ -429,6 +570,9 @@ func (c *Campaign) ChurnTransitions() int {
 			continue
 		}
 		for day := 1; day < len(u.Cookies); day++ {
+			if u.Cookies[day] == u.Cookies[day-1] {
+				continue // no rotation at this midnight (weekly/random/coordinated)
+			}
 			if activeDays[u.Cookies[day-1]][day-1] && activeDays[u.Cookies[day]][day] {
 				n++
 			}
@@ -450,8 +594,8 @@ func (c *Campaign) Summary() string {
 	for _, u := range c.Users {
 		kinds[u.Kind]++
 	}
-	fmt.Fprintf(&b, "campaign: %d days from %s, seed %d\n",
-		c.Config.Days, c.Config.Start.UTC().Format("2006-01-02"), c.Config.Seed)
+	fmt.Fprintf(&b, "campaign: %d days from %s, seed %d, %s churn\n",
+		c.Config.Days, c.Config.Start.UTC().Format("2006-01-02"), c.Config.Seed, c.Config.Churn)
 	fmt.Fprintf(&b, "world: %d sites (%d risky/blacklisted), %d indexed pages\n",
 		len(c.Sites), risky, len(c.IndexExpressions()))
 	fmt.Fprintf(&b, "population: %d users (%d heavy, %d light, %d periodic, %d churning)\n",

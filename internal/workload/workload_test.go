@@ -12,6 +12,185 @@ func testConfig() Config {
 	return Config{Days: 3, Clients: 30, Sites: 10, Seed: 7}
 }
 
+// churners returns the campaign's churning users.
+func churners(c *Campaign) []User {
+	var out []User
+	for _, u := range c.Users {
+		if u.Kind == ProfileChurning {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// TestChurnSchedules checks each schedule's rotation pattern against
+// the per-day cookie ground truth.
+func TestChurnSchedules(t *testing.T) {
+	t.Parallel()
+	base := Config{Days: 16, Clients: 40, Sites: 10, Seed: 11}
+
+	t.Run("daily", func(t *testing.T) {
+		t.Parallel()
+		cfg := base
+		cfg.Churn = ChurnDaily
+		camp, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		for _, u := range churners(camp) {
+			for d := 1; d < len(u.Cookies); d++ {
+				if u.Cookies[d] == u.Cookies[d-1] {
+					t.Fatalf("daily churner %d kept cookie across day %d", u.Index, d)
+				}
+			}
+		}
+	})
+
+	t.Run("weekly", func(t *testing.T) {
+		t.Parallel()
+		cfg := base
+		cfg.Churn = ChurnWeekly
+		camp, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		for _, u := range churners(camp) {
+			for d := 1; d < len(u.Cookies); d++ {
+				rotated := u.Cookies[d] != u.Cookies[d-1]
+				if want := d%7 == 0; rotated != want {
+					t.Fatalf("weekly churner %d day %d: rotated=%v, want %v", u.Index, d, rotated, want)
+				}
+			}
+		}
+	})
+
+	t.Run("random", func(t *testing.T) {
+		t.Parallel()
+		cfg := base
+		cfg.Churn = ChurnRandom
+		camp, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		chs := churners(camp)
+		if len(chs) < 2 {
+			t.Skip("population too small for two churners")
+		}
+		// Rotation-day sets should differ between at least two users
+		// (the point of per-user randomness).
+		pattern := func(u User) string {
+			var b strings.Builder
+			for d := 1; d < len(u.Cookies); d++ {
+				if u.Cookies[d] != u.Cookies[d-1] {
+					b.WriteByte('1')
+				} else {
+					b.WriteByte('0')
+				}
+			}
+			return b.String()
+		}
+		first := pattern(chs[0])
+		diverse := false
+		for _, u := range chs[1:] {
+			if pattern(u) != first {
+				diverse = true
+			}
+		}
+		if !diverse {
+			t.Error("random churn produced identical rotation patterns for every churner")
+		}
+	})
+
+	t.Run("coordinated", func(t *testing.T) {
+		t.Parallel()
+		cfg := base
+		cfg.Churn = ChurnCoordinated
+		camp, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		chs := churners(camp)
+		if len(chs) < 2 {
+			t.Skip("population too small for two churners")
+		}
+		// Every churner rotates on exactly the same days.
+		for d := 1; d < cfg.Days; d++ {
+			rotated := chs[0].Cookies[d] != chs[0].Cookies[d-1]
+			for _, u := range chs[1:] {
+				if got := u.Cookies[d] != u.Cookies[d-1]; got != rotated {
+					t.Fatalf("coordinated day %d: churner %d rotated=%v, churner %d rotated=%v",
+						d, chs[0].Index, rotated, u.Index, got)
+				}
+			}
+		}
+	})
+}
+
+// TestChurnTransitionsExact rebuilds the transition count independently
+// from the ground truth and compares: the tally must count exactly the
+// midnights where the cookie changed AND both sides were probe-active.
+func TestChurnTransitionsExact(t *testing.T) {
+	t.Parallel()
+	for _, churn := range []ChurnSchedule{ChurnDaily, ChurnWeekly, ChurnRandom, ChurnCoordinated} {
+		cfg := Config{Days: 10, Clients: 40, Sites: 10, Seed: 13, Churn: churn}
+		camp, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", churn, err)
+		}
+		risky := make(map[string]bool)
+		for _, s := range camp.Sites {
+			if s.Risky {
+				for _, p := range s.Pages {
+					risky["http://"+p] = true
+				}
+			}
+		}
+		active := make(map[string]map[int]bool)
+		for _, ev := range camp.Events {
+			if !risky[ev.URL] {
+				continue
+			}
+			day := int(ev.Time.Sub(camp.Config.Start) / (24 * time.Hour))
+			if active[ev.Cookie] == nil {
+				active[ev.Cookie] = make(map[int]bool)
+			}
+			active[ev.Cookie][day] = true
+		}
+		want := 0
+		for _, u := range camp.Users {
+			if u.Kind != ProfileChurning {
+				continue
+			}
+			for d := 1; d < len(u.Cookies); d++ {
+				if u.Cookies[d] != u.Cookies[d-1] &&
+					active[u.Cookies[d-1]][d-1] && active[u.Cookies[d]][d] {
+					want++
+				}
+			}
+		}
+		if got := camp.ChurnTransitions(); got != want {
+			t.Errorf("%s: ChurnTransitions = %d, want %d", churn, got, want)
+		}
+	}
+}
+
+// TestChurnScheduleParse round-trips every schedule name.
+func TestChurnScheduleParse(t *testing.T) {
+	t.Parallel()
+	for _, s := range []ChurnSchedule{ChurnDaily, ChurnWeekly, ChurnRandom, ChurnCoordinated} {
+		got, err := ParseChurnSchedule(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseChurnSchedule(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseChurnSchedule("hourly"); err == nil {
+		t.Error("ParseChurnSchedule(hourly): want error")
+	}
+	if _, err := (Config{Days: 2, Clients: 2, Sites: 2, Churn: ChurnSchedule(99)}).withDefaults(); err == nil {
+		t.Error("withDefaults: want error for unknown churn schedule")
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	t.Parallel()
 	a, err := Generate(testConfig())

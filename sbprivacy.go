@@ -30,6 +30,7 @@
 package sbprivacy
 
 import (
+	"sbprivacy/internal/ablation"
 	"sbprivacy/internal/advisor"
 	"sbprivacy/internal/ballsbins"
 	"sbprivacy/internal/blacklist"
@@ -172,6 +173,13 @@ type (
 	CampaignRunStats = workload.RunStats
 	// CampaignProfile classifies a synthetic user's behaviour.
 	CampaignProfile = workload.ProfileKind
+	// CampaignChurnSchedule selects when churners rotate their cookies.
+	CampaignChurnSchedule = workload.ChurnSchedule
+	// CampaignRunOptions configures a policy-equipped campaign run.
+	CampaignRunOptions = workload.RunOptions
+	// CampaignPolicyFactory builds the per-client QueryPolicy of a
+	// campaign run.
+	CampaignPolicyFactory = workload.PolicyFactory
 	// VirtualClock is the settable time source campaigns share between
 	// server and clients.
 	VirtualClock = workload.Clock
@@ -189,12 +197,66 @@ const (
 	CampaignProfileChurning = workload.ProfileChurning
 )
 
+// Campaign cookie-churn schedules.
+const (
+	// ChurnDaily rotates churner cookies at every midnight.
+	ChurnDaily = workload.ChurnDaily
+	// ChurnWeekly rotates at every 7th midnight.
+	ChurnWeekly = workload.ChurnWeekly
+	// ChurnRandom rotates each churner independently per midnight.
+	ChurnRandom = workload.ChurnRandom
+	// ChurnCoordinated rotates every churner on the same fleet-wide days.
+	ChurnCoordinated = workload.ChurnCoordinated
+)
+
 // Campaign constructors.
 var (
 	// GenerateCampaign builds a deterministic campaign from a config.
 	GenerateCampaign = workload.Generate
 	// NewVirtualClock returns a clock frozen at the given time.
 	NewVirtualClock = workload.NewClock
+	// ParseChurnSchedule maps a churn-schedule name to its value.
+	ParseChurnSchedule = workload.ParseChurnSchedule
+)
+
+// Mitigation ablation lab (the Section 8 countermeasure grid over a
+// seeded campaign).
+type (
+	// AblationConfig parametrizes an ablation grid run.
+	AblationConfig = ablation.Config
+	// AblationCell is one grid point: a named policy configuration.
+	AblationCell = ablation.Cell
+	// AblationPolicyKind names a cell's policy family.
+	AblationPolicyKind = ablation.PolicyKind
+	// AblationReport is the grid's full output.
+	AblationReport = ablation.Report
+	// AblationCellReport is one grid point's outcome.
+	AblationCellReport = ablation.CellReport
+	// AblationOverhead is a cell's traffic and interaction cost.
+	AblationOverhead = ablation.Overhead
+	// AblationScoring is one provider model's conclusions about a cell.
+	AblationScoring = ablation.Scoring
+	// AblationLinkageScore scores a cell's linkage against ground truth.
+	AblationLinkageScore = ablation.LinkageScore
+)
+
+// Ablation policy families.
+const (
+	// AblationPolicyBaseline is the vanilla client.
+	AblationPolicyBaseline = ablation.PolicyBaseline
+	// AblationPolicyDummy pads requests with deterministic dummies.
+	AblationPolicyDummy = ablation.PolicyDummy
+	// AblationPolicyOnePrefix queries one prefix at a time.
+	AblationPolicyOnePrefix = ablation.PolicyOnePrefix
+)
+
+// Ablation entry points.
+var (
+	// RunAblation executes a mitigation ablation grid.
+	RunAblation = ablation.Run
+	// DefaultAblationGrid is the acceptance grid: baseline, dummy-k1,
+	// dummy-k4, and the one-prefix strategy declining and consenting.
+	DefaultAblationGrid = ablation.DefaultGrid
 )
 
 // Longitudinal day-over-day correlation (the retention threat over a
@@ -276,6 +338,36 @@ var (
 	WithCookie = sbclient.WithCookie
 	// WithStoreFactory selects the local data structure.
 	WithStoreFactory = sbclient.WithStoreFactory
+	// WithQueryPolicy installs a privacy policy on the client's
+	// full-hash traffic (the Section 8 mitigation seam).
+	WithQueryPolicy = sbclient.WithQueryPolicy
+)
+
+// Client-side query-policy seam (the mitigation middleware between
+// local-hit detection and the full-hash round trip).
+type (
+	// QueryPolicy decides what a lookup's full-hash traffic looks like
+	// on the wire: padded, reordered, staged or withheld.
+	QueryPolicy = sbclient.QueryPolicy
+	// PolicyQuery is one lookup's full-hash need as a policy sees it.
+	PolicyQuery = sbclient.Query
+	// PolicyQueryPrefix is one real prefix of a PolicyQuery.
+	PolicyQueryPrefix = sbclient.QueryPrefix
+	// PolicyStage is one wire request a query plan wants sent.
+	PolicyStage = sbclient.Stage
+	// PolicyQueryPlan is the per-lookup conversation between client and
+	// policy.
+	PolicyQueryPlan = sbclient.QueryPlan
+	// DummyQueryPolicy pads every request with deterministic dummies
+	// (Firefox's Section 8 countermeasure as a QueryPolicy).
+	DummyQueryPolicy = mitigation.DummyPolicy
+	// OnePrefixQueryPolicy is the paper's one-prefix-at-a-time strategy
+	// as a QueryPolicy.
+	OnePrefixQueryPolicy = mitigation.OnePrefixPolicy
+	// ConsentOracle answers the one-prefix strategy's stage-2 prompts.
+	ConsentOracle = mitigation.ConsentOracle
+	// ScriptedConsent is a deterministic, prompt-counting ConsentOracle.
+	ScriptedConsent = mitigation.ScriptedConsent
 )
 
 // StoreFactoryKind names a client-side prefix store implementation
