@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench docs-check examples-check ablate-smoke
+.PHONY: check build vet lint test race bench docs-check examples-check ablate-smoke
 
 check: build vet race
 
@@ -31,11 +31,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's invariant analyzer suite (tools/sbcheck: clock
+# discipline, seeded randomness, map-order determinism, Flush/Close
+# error checking) and go vet; CI's lint job gates on it.
+lint:
+	$(GO) run ./tools/sbcheck ./...
+	$(GO) vet ./...
+
 test:
-	$(GO) test ./...
+	$(GO) test -vet=all ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -vet=all ./...
 
 bench:
 	$(GO) test -run xxx -bench 'ServerConcurrent|AblationServerSeedDesign' -cpu=1,8 -benchmem .

@@ -243,7 +243,11 @@ func benchServer(b *testing.B, n int) (*sbserver.Server, []hashx.Prefix) {
 // index serves them without contention.
 func BenchmarkServerConcurrentFullHash(b *testing.B) {
 	server, prefixes := benchServer(b, 100000)
-	defer server.Close() //nolint:errcheck // bench
+	defer func() {
+		if err := server.Close(); err != nil {
+			b.Errorf("server close: %v", err)
+		}
+	}()
 	var worker int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -272,7 +276,11 @@ func BenchmarkServerConcurrentFullHash(b *testing.B) {
 // cost is one list lock plus one index stripe per digest.
 func BenchmarkServerConcurrentUpdate(b *testing.B) {
 	server, _ := benchServer(b, 1)
-	defer server.Close() //nolint:errcheck // bench
+	defer func() {
+		if err := server.Close(); err != nil {
+			b.Errorf("server close: %v", err)
+		}
+	}()
 	var worker int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -356,7 +364,11 @@ func BenchmarkAblationServerSeedDesign(b *testing.B) {
 // amortization: one call carries 32 requests.
 func BenchmarkServerBatchFullHash(b *testing.B) {
 	server, prefixes := benchServer(b, 100000)
-	defer server.Close() //nolint:errcheck // bench
+	defer func() {
+		if err := server.Close(); err != nil {
+			b.Errorf("server close: %v", err)
+		}
+	}()
 	reqs := make([]*wire.FullHashRequest, 32)
 	for i := range reqs {
 		reqs[i] = &wire.FullHashRequest{

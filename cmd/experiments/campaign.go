@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -67,8 +68,7 @@ func runCampaign(w io.Writer, opts campaignOptions) error {
 
 	stats, err := camp.Run(context.Background(), store, live)
 	if err != nil {
-		store.Close() //nolint:errcheck // already failing
-		return err
+		return errors.Join(err, store.Close())
 	}
 	if err := store.Close(); err != nil {
 		return err
@@ -169,8 +169,7 @@ func replayLongitudinal(dir string, camp *workload.Campaign, linkage core.Longit
 		l.Observe(p)
 		return nil
 	}); err != nil {
-		ro.Close() //nolint:errcheck // already failing
-		return nil, err
+		return nil, errors.Join(err, ro.Close())
 	}
 	// Close surfaces errors noted during the read-only session (the
 	// PR 3 contract); a replay that hit one must not report success.

@@ -29,7 +29,7 @@ func loadTest(workers, batch int, duration time.Duration, scale int, seed int64)
 		return err
 	}
 	srv := u.Server
-	defer srv.Close() //nolint:errcheck // drained below
+	defer srv.Close() //sbcheck:ignore flusherr backstop for early-error returns; the drain path below checks Close
 
 	// Collect real planted prefixes so a share of the traffic hits.
 	var prefixes []hashx.Prefix

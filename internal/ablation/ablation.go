@@ -1,3 +1,5 @@
+//sbcheck:deterministic
+
 // Package ablation is the mitigation ablation lab: it reruns one
 // seeded campaign under a grid of client-side privacy policies — the
 // paper's Section 8 countermeasures — and emits a comparable
@@ -23,6 +25,7 @@ package ablation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -315,8 +318,7 @@ func runCell(ctx context.Context, camp *workload.Campaign, index *core.Index, ce
 	factory, oracle := policyFor(cell)
 	stats, err := camp.RunWith(ctx, workload.RunOptions{Policy: factory, Sinks: sinks})
 	if err != nil {
-		store.Close() //nolint:errcheck // already failing
-		return nil, fmt.Errorf("ablation: cell %s: %w", cell.Name, err)
+		return nil, fmt.Errorf("ablation: cell %s: %w", cell.Name, errors.Join(err, store.Close()))
 	}
 	if err := store.Close(); err != nil {
 		return nil, fmt.Errorf("ablation: cell %s: %w", cell.Name, err)

@@ -1,3 +1,5 @@
+//sbcheck:deterministic
+
 // Package blacklist reproduces the paper's Section 7 analysis of the
 // Google and Yandex Safe Browsing databases: the list inventories
 // (Tables 1 and 3), database inversion (Tables 9 and 10), orphan-prefix

@@ -1,3 +1,5 @@
+//sbcheck:deterministic
+
 // Package core implements the paper's primary contribution: quantifying
 // and exploiting the information that Safe Browsing prefixes leak.
 //

@@ -1,3 +1,5 @@
+//sbcheck:deterministic
+
 // Package mitigation implements the countermeasures discussed in the
 // paper's Section 8:
 //

@@ -64,7 +64,7 @@ func TestFollowDeliversLiveAppends(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	defer w.Close() //nolint:errcheck // test cleanup
+	defer mustClose(t, w)
 
 	r := mustReadOnly(t, dir)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -166,7 +166,7 @@ func TestFollowRequiresReadOnly(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	defer s.Close() //nolint:errcheck // test cleanup
+	defer mustClose(t, s)
 	err = s.Follow(context.Background(), func(sbserver.Probe) error { return nil })
 	if !errors.Is(err, ErrFollowWritable) {
 		t.Errorf("Follow on writable store = %v, want ErrFollowWritable", err)
@@ -195,7 +195,7 @@ func TestFollowToleratesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	defer w.Close() //nolint:errcheck // test cleanup
+	defer mustClose(t, w)
 	w.Observe(probe("c", 0))
 	if err := w.Flush(); err != nil {
 		t.Fatalf("Flush: %v", err)

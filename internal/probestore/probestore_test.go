@@ -14,6 +14,15 @@ import (
 	"sbprivacy/internal/sbserver"
 )
 
+// mustClose closes a store at test cleanup, failing the test on a
+// noted write error rather than discarding it (the flusherr contract).
+func mustClose(t testing.TB, s *Store) {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Errorf("store close: %v", err)
+	}
+}
+
 // probe builds a deterministic test probe for client c at logical time i.
 func probe(c string, i int) sbserver.Probe {
 	return sbserver.Probe{
@@ -189,7 +198,7 @@ func TestStoreRetentionAppliedAtOpen(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
-	defer s2.Close() //nolint:errcheck // test cleanup
+	defer mustClose(t, s2)
 	if got := len(s2.Segments()); got > 2 {
 		t.Errorf("segments after reopen = %d, want <= 2", got)
 	}

@@ -12,6 +12,16 @@ import (
 	"sbprivacy/internal/wire"
 )
 
+// mustClose closes the server at test cleanup, failing the test on a
+// noted pipeline error rather than discarding it (the flusherr
+// contract).
+func mustClose(t testing.TB, s *Server) {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Errorf("server close: %v", err)
+	}
+}
+
 // TestFullHashesRejectsOversizedRequests is the regression test for
 // the serve-everything-record-a-clamp bug: FullHashes used to answer
 // every requested prefix but clamp the recorded probe to the wire
@@ -21,7 +31,7 @@ import (
 // recorded or served.
 func TestFullHashesRejectsOversizedRequests(t *testing.T) {
 	s := New()
-	defer s.Close() //nolint:errcheck // test cleanup
+	defer mustClose(t, s)
 	if err := s.CreateList("l", ""); err != nil {
 		t.Fatalf("CreateList: %v", err)
 	}
@@ -65,7 +75,7 @@ func TestFullHashesRejectsOversizedRequests(t *testing.T) {
 // for answers the caller never received.
 func TestFullHashesBatchRejectsBeforeServing(t *testing.T) {
 	s := New()
-	defer s.Close() //nolint:errcheck // test cleanup
+	defer mustClose(t, s)
 	batch := []*wire.FullHashRequest{
 		{ClientID: "ok", Prefixes: []hashx.Prefix{1}},
 		{ClientID: strings.Repeat("c", wire.MaxProbeClientIDBytes+1)},
@@ -83,7 +93,7 @@ func TestFullHashesBatchRejectsBeforeServing(t *testing.T) {
 // at a decoder; the decode fails and the handler answers 400.
 func TestHandlerCapsRequestBodies(t *testing.T) {
 	s := New()
-	defer s.Close() //nolint:errcheck // test cleanup
+	defer mustClose(t, s)
 	ts := httptest.NewServer(Handler(s))
 	defer ts.Close()
 

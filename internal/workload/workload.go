@@ -1,3 +1,5 @@
+//sbcheck:deterministic
+
 // Package workload generates deterministic multi-day synthetic browsing
 // campaigns and drives them through the real client/server stack — the
 // substrate for the paper's longitudinal claims. A campaign is a small

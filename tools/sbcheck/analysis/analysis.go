@@ -1,0 +1,68 @@
+// Package analysis is a minimal, dependency-free modelling of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer holds a name,
+// a doc string and a Run function; a Pass hands the Run function one
+// type-checked package and collects Diagnostics.
+//
+// The repository cannot vendor x/tools (the build environment is
+// offline), so sbcheck carries this shim instead. The shapes are kept
+// deliberately close to the upstream API: if x/tools ever becomes
+// available, each analyzer ports by swapping the import and deleting
+// the two extra policy fields (DeterministicOnly, SkipTestFiles) in
+// favour of driver-side wiring.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "sbcheck:ignore <name> <reason>" suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+
+	// DeterministicOnly restricts the analyzer to packages carrying the
+	// "sbcheck:deterministic" marker comment.
+	DeterministicOnly bool
+	// SkipTestFiles excludes _test.go files from the pass (wall-clock
+	// deadlines and ad-hoc seeds are legitimate in test scaffolding).
+	SkipTestFiles bool
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	// Analyzer is the checker being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file in the pass.
+	Fset *token.FileSet
+	// Files is the syntax to analyze (already filtered per the
+	// analyzer's SkipTestFiles policy).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records type and object resolution for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The driver
+// prefixes the analyzer name when printing.
+type Diagnostic struct {
+	// Pos locates the offending syntax.
+	Pos token.Pos
+	// Message states the violation and the repo-sanctioned fix.
+	Message string
+}

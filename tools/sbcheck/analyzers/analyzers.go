@@ -1,0 +1,62 @@
+// Package analyzers holds sbcheck's repo-specific invariant checkers:
+//
+//   - detclock: no wall-clock reads in deterministic packages;
+//   - detrand: no process-global or hard-coded randomness in
+//     deterministic packages;
+//   - maporder: no order-dependent output built while ranging over a
+//     map in deterministic packages;
+//   - flusherr: Flush/Close errors from the probe pipeline types are
+//     never discarded, anywhere in the module.
+//
+// The first three are scoped to packages carrying the
+// "//sbcheck:deterministic" marker and skip _test.go files; flusherr
+// runs over every package including tests. See each analyzer's Doc for
+// the precise rule and docs/ARCHITECTURE.md ("Enforced invariants") for
+// the rationale.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sbprivacy/tools/sbcheck/analysis"
+)
+
+// All returns the full analyzer suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Detclock, Detrand, Maporder, Flusherr}
+}
+
+// Known returns the analyzer-name set, used to validate
+// sbcheck:ignore comments.
+func Known() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// usedPackage resolves an expression to the import path of the package
+// it names: e must be an identifier bound to an import (possibly
+// renamed). Returns "" otherwise.
+func usedPackage(info *types.Info, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// selectorOn returns sel's selected name if sel's operand names the
+// package with the given import path (under any local rename).
+func selectorOn(info *types.Info, sel *ast.SelectorExpr, path string) (string, bool) {
+	if usedPackage(info, sel.X) != path {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,53 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"sbprivacy/tools/sbcheck/analyzers"
+	"sbprivacy/tools/sbcheck/sbchecktest"
+)
+
+const fixtures = "tools/sbcheck/testdata/src/"
+
+// Each analyzer gets a failing fixture (every violation class draws its
+// diagnostic) and a passing fixture (the sanctioned patterns draw
+// none).
+
+func TestDetclock(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Detclock, fixtures+"detclock")
+}
+
+func TestDetclockClean(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Detclock, fixtures+"detclock_ok")
+}
+
+func TestDetrand(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Detrand, fixtures+"detrand")
+}
+
+func TestDetrandClean(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Detrand, fixtures+"detrand_ok")
+}
+
+func TestMaporder(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Maporder, fixtures+"maporder")
+}
+
+func TestMaporderClean(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Maporder, fixtures+"maporder_ok")
+}
+
+func TestFlusherr(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Flusherr, fixtures+"flusherr")
+}
+
+func TestFlusherrClean(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Flusherr, fixtures+"flusherr_ok")
+}
+
+// TestIgnoreValidation proves the suppression machinery end to end:
+// justified ignores waive, an ignore without a reason is itself a
+// diagnostic and waives nothing, and unknown analyzer names are caught.
+func TestIgnoreValidation(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Detclock, fixtures+"ignore")
+}

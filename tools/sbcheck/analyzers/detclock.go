@@ -1,0 +1,53 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"sbprivacy/tools/sbcheck/analysis"
+)
+
+// wallClock lists the package-level time functions that read or arm the
+// process wall clock. Constructors of values (time.Date, time.Unix) and
+// pure arithmetic (Duration, Time methods) are fine: they are
+// deterministic in their inputs.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Detclock forbids wall-clock reads in deterministic packages.
+var Detclock = &analysis.Analyzer{
+	Name: "detclock",
+	Doc: "Forbids time.Now, time.Since, time.Until, time.After, time.AfterFunc, " +
+		"time.Tick, time.NewTimer and time.NewTicker in packages marked " +
+		"sbcheck:deterministic. Campaign reproducibility requires every " +
+		"timestamp to come from the campaign's virtual workload.Clock; one " +
+		"stray wall-clock read silently breaks same-seed byte-identical " +
+		"stores. Any mention of these functions is flagged — including " +
+		"passing time.Now as a default time source.",
+	Run:               runDetclock,
+	DeterministicOnly: true,
+	SkipTestFiles:     true,
+}
+
+func runDetclock(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := selectorOn(p.TypesInfo, sel, "time"); ok && wallClock[name] {
+				p.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic package; route time through workload.Clock", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"sbprivacy/tools/sbcheck/analysis"
+)
+
+// globalRand lists the math/rand package-level functions that draw from
+// the process-global source. rand.New, rand.NewSource and rand.NewZipf
+// are allowed: they are how the campaign's seeded master stream is
+// threaded.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions, should the module ever migrate.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint32N": true, "Uint64N": true, "Uint": true,
+}
+
+// randPkgs are the import paths whose package-level functions are the
+// process-global source.
+var randPkgs = []string{"math/rand", "math/rand/v2"}
+
+// Detrand forbids nondeterministic randomness in deterministic packages.
+var Detrand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "Forbids, in packages marked sbcheck:deterministic: math/rand " +
+		"package-level functions (the process-global source), " +
+		"rand.NewSource with a hard-coded literal seed (library code must " +
+		"thread the campaign's configured seed), and any use of " +
+		"crypto/rand (system entropy). Deterministic packages must derive " +
+		"all randomness from the campaign's seeded *rand.Rand stream.",
+	Run:               runDetrand,
+	DeterministicOnly: true,
+	SkipTestFiles:     true,
+}
+
+func runDetrand(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				for _, pkg := range randPkgs {
+					if name, ok := selectorOn(p.TypesInfo, n, pkg); ok && globalRand[name] {
+						p.Reportf(n.Pos(), "%s.%s draws from the process-global source in a deterministic package; thread the campaign's seeded *rand.Rand", pkg, name)
+					}
+				}
+				if _, ok := selectorOn(p.TypesInfo, n, "crypto/rand"); ok {
+					p.Reportf(n.Pos(), "crypto/rand is system entropy, nondeterministic by design; deterministic packages must derive bytes from the seeded stream")
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				for _, pkg := range randPkgs {
+					if name, ok := selectorOn(p.TypesInfo, sel, pkg); ok && name == "NewSource" && len(n.Args) == 1 {
+						if lit, ok := n.Args[0].(*ast.BasicLit); ok && lit.Kind == token.INT {
+							p.Reportf(n.Pos(), "rand.NewSource(%s) hard-codes a seed in a deterministic package; thread the campaign's configured seed instead", lit.Value)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sbprivacy/tools/sbcheck/analysis"
+)
+
+// flushPkgs are the final import-path elements of the packages whose
+// Flush/Close errors carry the probe pipeline's noted-error contract: a
+// write error noted asynchronously surfaces on the next Flush or Close,
+// so discarding that error silently loses probes.
+var flushPkgs = map[string]bool{
+	"probestore": true,
+	"sbserver":   true,
+	"sbclient":   true,
+}
+
+// Flusherr enforces the noted-error contract on Flush/Close.
+var Flusherr = &analysis.Analyzer{
+	Name: "flusherr",
+	Doc: "Forbids discarding the error result of Flush or Close on " +
+		"probestore, sbserver and sbclient types, in every package " +
+		"including tests: as an expression statement, via defer/go, or by " +
+		"assigning only to blank identifiers. The probe store notes async " +
+		"write errors and reports them at the Flush/Close barrier — " +
+		"dropping that error silently loses probes. Commands must exit " +
+		"nonzero; tests must t.Fatal.",
+	Run: runFlusherr,
+}
+
+func runFlusherr(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && allBlank(n.Lhs) {
+					call, _ = n.Rhs[0].(*ast.CallExpr)
+				}
+			}
+			if call != nil {
+				checkDiscard(p, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		if id, ok := e.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDiscard reports call if it is a Flush/Close on a covered type
+// whose error result is being dropped.
+func checkDiscard(p *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Flush" && sel.Sel.Name != "Close") {
+		return
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if !flushPkgs[path[strings.LastIndex(path, "/")+1:]] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return
+	}
+	if types.Unalias(sig.Results().At(0).Type()).String() != "error" {
+		return
+	}
+	recv := "value"
+	if sig.Recv() != nil {
+		qual := func(other *types.Package) string {
+			if other == p.Pkg {
+				return ""
+			}
+			return other.Name()
+		}
+		recv = types.TypeString(sig.Recv().Type(), qual)
+	}
+	p.Reportf(call.Pos(), "discarded error from (%s).%s; the noted-error contract requires checking Flush/Close results", recv, sel.Sel.Name)
+}

@@ -1,0 +1,230 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sbprivacy/tools/sbcheck/analysis"
+)
+
+// fmtSinks are the fmt functions that emit directly to an output
+// stream. The Sprint family returns a value and is judged by what the
+// caller does with it.
+var fmtSinks = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// methodSinks are method names that stream bytes into a writer, hash or
+// encoder — all order-sensitive consumers.
+var methodSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// Maporder flags order-dependent results built while ranging over a map.
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "Flags, in packages marked sbcheck:deterministic, a range over a " +
+		"map whose body appends to a slice that is never subsequently " +
+		"sorted in the same function, or writes to an output sink " +
+		"(fmt.Print/Fprint, Write*, Encode). Map iteration order is " +
+		"randomized; order-independence is what makes live == replay " +
+		"deep-equal proofs valid. Safe patterns: collect keys, sort, then " +
+		"iterate; or sort the accumulated slice before use. Keyed " +
+		"accumulation (m[k] = append(m[k], ...)) is order-independent and " +
+		"not flagged.",
+	Run:               runMaporder,
+	DeterministicOnly: true,
+	SkipTestFiles:     true,
+}
+
+func runMaporder(p *analysis.Pass) error {
+	seen := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !seen[pos] {
+			seen[pos] = true
+			p.Reportf(pos, format, args...)
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(p, body, report)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges examines every map-range directly inside body (nested
+// function literals are walked by the caller as their own bodies).
+func checkMapRanges(p *analysis.Pass, body *ast.BlockStmt, report func(token.Pos, string, ...any)) {
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(p.TypesInfo.TypeOf(rs.X)) {
+			return
+		}
+		appends := map[types.Object]token.Pos{}
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				recordAppends(p.TypesInfo, n, appends)
+			case *ast.CallExpr:
+				if name, ok := sinkCall(p.TypesInfo, n); ok {
+					report(n.Pos(), "%s writes to an output sink while ranging over a map (nondeterministic order); iterate sorted keys instead", name)
+				}
+			}
+			return true
+		})
+		for obj, pos := range appends {
+			if !sortedAfter(p.TypesInfo, body, obj, pos) {
+				report(pos, "appends to %s while ranging over a map (nondeterministic order); iterate sorted keys or sort %s afterwards", obj.Name(), obj.Name())
+			}
+		}
+	})
+}
+
+// inspectSkippingFuncLits walks the subtree but does not descend into
+// nested function literals.
+func inspectSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isMapType reports whether t (possibly named or aliased) is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Map)
+	return ok
+}
+
+// recordAppends notes assignment targets of builtin append calls,
+// keyed by the target's object. Index-expression targets
+// (m[k] = append(m[k], ...)) are keyed accumulation and skipped.
+func recordAppends(info *types.Info, as *ast.AssignStmt, appends map[types.Object]token.Pos) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(info, call) {
+			continue
+		}
+		var lhs ast.Expr
+		switch {
+		case len(as.Lhs) == len(as.Rhs):
+			lhs = as.Lhs[i]
+		case len(as.Rhs) == 1:
+			lhs = as.Lhs[0]
+		default:
+			continue
+		}
+		var obj types.Object
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			obj = info.ObjectOf(l)
+		case *ast.SelectorExpr:
+			obj = info.ObjectOf(l.Sel)
+		default:
+			continue
+		}
+		if obj == nil {
+			continue
+		}
+		if _, dup := appends[obj]; !dup {
+			appends[obj] = call.Pos()
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sinkCall reports whether call writes to an output sink and names it.
+func sinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkg := usedPackage(info, sel.X); pkg != "" {
+		if pkg == "fmt" && fmtSinks[sel.Sel.Name] {
+			return "fmt." + sel.Sel.Name, true
+		}
+		return "", false
+	}
+	if methodSinks[sel.Sel.Name] {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether a sort/slices call referencing obj
+// appears in body after pos — the sanctioned way to make a map-range
+// accumulation deterministic.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := usedPackage(info, sel.X); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if referencesObject(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// referencesObject reports whether expr mentions obj anywhere.
+func referencesObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

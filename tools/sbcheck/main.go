@@ -1,0 +1,182 @@
+// Command sbcheck is the repository's invariant analyzer suite, run by
+// "make lint" and CI's lint job. It loads and type-checks every package
+// in the module (no network, no external tooling) and applies four
+// repo-specific analyzers:
+//
+//   - detclock — no wall-clock reads (time.Now and friends) in
+//     deterministic packages; time routes through workload.Clock;
+//   - detrand — no process-global math/rand, hard-coded seeds, or
+//     crypto/rand in deterministic packages; randomness threads from
+//     the campaign's seeded *rand.Rand;
+//   - maporder — no order-dependent slices or output-sink writes built
+//     while ranging over a map in deterministic packages;
+//   - flusherr — Flush/Close errors on probestore/sbserver/sbclient
+//     types are never discarded, anywhere (including tests).
+//
+// A package opts into the three determinism analyzers by carrying a
+// "//sbcheck:deterministic" comment before the package clause of any
+// non-test file. A single finding is waived with an inline
+// "//sbcheck:ignore <analyzer> <reason>" comment on the offending line
+// or the line above; the reason is mandatory and an ignore without one
+// (or naming an unknown analyzer) is itself reported.
+//
+// Usage:
+//
+//	go run ./tools/sbcheck [-list] [packages]
+//
+// Packages default to ./... (the whole module). Diagnostics print as
+// file:line:col: [analyzer] message; the exit status is 1 if any
+// diagnostic survives suppression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sbprivacy/tools/sbcheck/analysis"
+	"sbprivacy/tools/sbcheck/analyzers"
+	"sbprivacy/tools/sbcheck/load"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list analyzers and deterministic packages, run nothing")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sbcheck [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Packages default to ./... relative to the module root.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(flag.Args(), *listOnly))
+}
+
+// finding pairs a diagnostic with the analyzer that produced it, ready
+// to print.
+type finding struct {
+	file     string
+	line     int
+	col      int
+	analyzer string
+	message  string
+}
+
+func run(patterns []string, listOnly bool) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := load.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	if listOnly {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	dirs, err := loader.Dirs(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []finding
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		if listOnly {
+			if pkg.Deterministic {
+				fmt.Printf("deterministic: %s\n", pkg.ImportPath)
+			}
+			continue
+		}
+		for _, p := range []*load.Package{pkg, pkg.XTest} {
+			if p == nil {
+				continue
+			}
+			findings = append(findings, analyzePackage(loader, p)...)
+		}
+	}
+	if listOnly {
+		return 0
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("sbcheck: %d problem(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// analyzePackage runs every applicable analyzer over one package and
+// returns the surviving findings, including driver diagnostics for
+// malformed sbcheck:ignore comments.
+func analyzePackage(loader *load.Loader, p *load.Package) []finding {
+	var out []finding
+	emit := func(name string, diags []analysis.Diagnostic) {
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			rel := pos.Filename
+			if r, err := filepath.Rel(loader.Root, pos.Filename); err == nil {
+				rel = r
+			}
+			out = append(out, finding{file: rel, line: pos.Line, col: pos.Column, analyzer: name, message: d.Message})
+		}
+	}
+	for _, a := range analyzers.All() {
+		if a.DeterministicOnly && !p.Deterministic {
+			continue
+		}
+		files := p.Files
+		if a.SkipTestFiles {
+			files = nil
+			for _, f := range p.Files {
+				if !loader.IsTestFile(f) {
+					files = append(files, f)
+				}
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      loader.Fset,
+			Files:     files,
+			Pkg:       p.Types,
+			TypesInfo: p.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			fatal(fmt.Errorf("%s on %s: %w", a.Name, p.ImportPath, err))
+		}
+		emit(a.Name, load.Suppress(loader.Fset, p.Ignores, a.Name, diags))
+	}
+	emit("sbcheck", load.CheckIgnores(p.Ignores, analyzers.Known()))
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sbcheck: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,142 @@
+// Package sbchecktest is sbcheck's fixture-driven analyzer test
+// harness, a small offline analogue of golang.org/x/tools'
+// analysistest. A fixture is an ordinary package directory under
+// tools/sbcheck/testdata/src/ whose files annotate expected
+// diagnostics with trailing comments:
+//
+//	return time.Now() // want `time\.Now reads the wall clock`
+//
+// Each quoted fragment is a regular expression that must match one
+// diagnostic reported on that line; lines without a want comment must
+// produce no diagnostics. Several expectations may share one comment
+// ("// want `a` `b`"), and a want marker may ride at the end of an
+// sbcheck:ignore comment so suppression handling is itself testable.
+//
+// Run applies one analyzer, then the driver's suppression pass and
+// ignore validation, so fixtures exercise the exact pipeline "make
+// lint" runs.
+package sbchecktest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sbprivacy/tools/sbcheck/analysis"
+	"sbprivacy/tools/sbcheck/analyzers"
+	"sbprivacy/tools/sbcheck/load"
+)
+
+// wantRE extracts backquoted expectations from a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the module-relative fixture directory, applies the
+// analyzer followed by the driver's suppression and ignore-validation
+// passes, and compares the surviving diagnostics against the fixture's
+// want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      loader.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	diags = load.Suppress(loader.Fset, pkg.Ignores, a.Name, diags)
+	diags = append(diags, load.CheckIgnores(pkg.Ignores, analyzers.Known())...)
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	want := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		collectWants(t, loader, f, func(file string, line int, re *regexp.Regexp) {
+			k := key{file, line}
+			want[k] = append(want[k], re)
+		})
+	}
+
+	for k, res := range want {
+		msgs := got[k]
+		for _, re := range res {
+			idx := -1
+			for i, m := range msgs {
+				if re.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %s)", k.file, k.line, re, fmtMsgs(msgs))
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		if len(msgs) > 0 {
+			t.Errorf("%s:%d: unexpected diagnostics beyond wants: %s", k.file, k.line, fmtMsgs(msgs))
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		t.Errorf("%s:%d: unexpected diagnostics: %s", k.file, k.line, fmtMsgs(msgs))
+	}
+}
+
+// collectWants reports each want expectation in f with its position.
+func collectWants(t *testing.T, loader *load.Loader, f *ast.File, emit func(string, int, *regexp.Regexp)) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			i := strings.Index(c.Text, "// want")
+			if i < 0 {
+				continue
+			}
+			rest := c.Text[i+len("// want"):]
+			matches := wantRE.FindAllStringSubmatch(rest, -1)
+			if len(matches) == 0 {
+				t.Errorf("%s: malformed want comment (no backquoted pattern): %s", loader.Fset.Position(c.Pos()), c.Text)
+				continue
+			}
+			pos := loader.Fset.Position(c.Pos())
+			for _, m := range matches {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Errorf("%s: bad want pattern %q: %v", pos, m[1], err)
+					continue
+				}
+				emit(pos.Filename, pos.Line, re)
+			}
+		}
+	}
+}
+
+func fmtMsgs(msgs []string) string {
+	if len(msgs) == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%q", msgs)
+}

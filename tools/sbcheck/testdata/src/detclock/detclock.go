@@ -1,0 +1,39 @@
+// Package detclock is the failing fixture for the detclock analyzer:
+// every construct below reads or arms the wall clock and must be
+// diagnosed.
+package detclock
+
+import (
+	"time"
+
+	clock "time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func wait() {
+	<-time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+func timer() *time.Timer {
+	return time.NewTimer(time.Minute) // want `time\.NewTimer reads the wall clock`
+}
+
+// defaultSource shows the subtle leak: passing time.Now as a value
+// (the default-clock idiom) is just as nondeterministic as calling it.
+type server struct{ now func() time.Time }
+
+func defaultSource() server {
+	return server{now: time.Now} // want `time\.Now reads the wall clock`
+}
+
+// renamed proves the analyzer follows renamed imports.
+func renamed() time.Time {
+	return clock.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,21 @@
+// Package detclock_ok is the passing fixture for the detclock
+// analyzer: deterministic uses of package time draw no diagnostics.
+package detclock_ok
+
+import "time"
+
+// epoch builds a fixed timestamp — deterministic in its inputs.
+func epoch() time.Time {
+	return time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// advance is pure Duration arithmetic.
+func advance(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// injected is the sanctioned pattern: the time source is threaded in,
+// so campaigns can pass workload.Clock.Now.
+func injected(now func() time.Time) time.Time {
+	return now()
+}

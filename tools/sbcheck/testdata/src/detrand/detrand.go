@@ -1,0 +1,29 @@
+// Package detrand is the failing fixture for the detrand analyzer:
+// process-global randomness, hard-coded seeds and system entropy must
+// all be diagnosed.
+package detrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+func roll() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from the process-global source`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle draws from the process-global source`
+}
+
+func reseed() {
+	rand.Seed(99) // want `math/rand\.Seed draws from the process-global source`
+}
+
+func fixed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.NewSource\(42\) hard-codes a seed`
+}
+
+func entropy(b []byte) {
+	crand.Read(b) // want `crypto/rand is system entropy`
+}

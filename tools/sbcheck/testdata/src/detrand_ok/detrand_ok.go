@@ -1,0 +1,21 @@
+// Package detrand_ok is the passing fixture for the detrand analyzer:
+// randomness threaded from a seeded stream draws no diagnostics.
+package detrand_ok
+
+import "math/rand"
+
+// draw consumes a threaded stream — the campaign pattern.
+func draw(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// derive builds a sub-stream from a configured seed, the sanctioned way
+// to fork per-user streams off the campaign master.
+func derive(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// fork derives a child stream from a parent stream.
+func fork(rng *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Int63()))
+}

@@ -1,0 +1,28 @@
+// Package flusherr is the failing fixture for the flusherr analyzer:
+// every way of dropping a covered Flush/Close error must be diagnosed.
+package flusherr
+
+import (
+	"sbprivacy/tools/sbcheck/testdata/src/flusherr/probestore"
+	"sbprivacy/tools/sbcheck/testdata/src/flusherr/sbserver"
+)
+
+func dropped(s *probestore.Store) {
+	s.Flush() // want `discarded error from \(\*probestore\.Store\)\.Flush`
+}
+
+func deferred(s *probestore.Store) {
+	defer s.Close() // want `discarded error from \(\*probestore\.Store\)\.Close`
+}
+
+func blanked(s *probestore.Store) {
+	_ = s.Flush() // want `discarded error from \(\*probestore\.Store\)\.Flush`
+}
+
+func backgrounded(s *probestore.Store) {
+	go s.Flush() // want `discarded error from \(\*probestore\.Store\)\.Flush`
+}
+
+func serverClose(v *sbserver.Server) {
+	v.Close() // want `discarded error from \(\*sbserver\.Server\)\.Close`
+}

@@ -1,0 +1,14 @@
+// Package probestore is a stand-in for internal/probestore in the
+// flusherr fixture: the final import-path element is what the analyzer
+// keys on, so this mini copy carries the same noted-error contract
+// shape.
+package probestore
+
+// Store mimics the probe store's error-bearing barrier methods.
+type Store struct{}
+
+// Flush surfaces asynchronously noted write errors.
+func (s *Store) Flush() error { return nil }
+
+// Close flushes and releases the store.
+func (s *Store) Close() error { return nil }

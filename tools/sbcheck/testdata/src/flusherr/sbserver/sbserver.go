@@ -1,0 +1,13 @@
+// Package sbserver is a stand-in for internal/sbserver in the flusherr
+// fixture, shaped like the real server: Flush is a void barrier (not
+// flagged), Close returns the pipeline's error (flagged when dropped).
+package sbserver
+
+// Server mimics the provider server.
+type Server struct{}
+
+// Flush drains the probe pipeline; it reports nothing.
+func (s *Server) Flush() {}
+
+// Close drains and returns any noted pipeline error.
+func (s *Server) Close() error { return nil }

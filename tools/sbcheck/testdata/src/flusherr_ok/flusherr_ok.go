@@ -1,0 +1,41 @@
+// Package flusherr_ok is the passing fixture for the flusherr
+// analyzer: checked errors, void barriers and uncovered types draw no
+// diagnostics.
+package flusherr_ok
+
+import (
+	"os"
+
+	"sbprivacy/tools/sbcheck/testdata/src/flusherr/probestore"
+	"sbprivacy/tools/sbcheck/testdata/src/flusherr/sbserver"
+)
+
+// checked is the contract upheld: both barrier errors are examined.
+func checked(s *probestore.Store) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+// voidFlush: the server's Flush returns nothing, so there is no error
+// to drop.
+func voidFlush(v *sbserver.Server) {
+	v.Flush()
+}
+
+// uncovered: Close on types outside the probe pipeline (here *os.File)
+// is not this analyzer's business.
+func uncovered(f *os.File) {
+	defer f.Close()
+}
+
+// waived shows a justified suppression: the backstop-defer idiom where
+// the explicit Close below is the checked one.
+func waived(s *probestore.Store) error {
+	defer s.Close() //sbcheck:ignore flusherr backstop defer; the explicit Close below is checked
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.Close()
+}

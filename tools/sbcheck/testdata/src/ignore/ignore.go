@@ -1,0 +1,30 @@
+// Package ignore exercises the suppression machinery itself: justified
+// ignores waive a diagnostic, while an ignore without a reason (or
+// naming an unknown analyzer) is a diagnostic in its own right and
+// suppresses nothing.
+package ignore
+
+import "time"
+
+// waivedSameLine is silenced by a justified same-line ignore.
+func waivedSameLine() time.Time {
+	return time.Now() //sbcheck:ignore detclock fixture demonstrating a justified suppression
+}
+
+// waivedLineAbove is silenced by a justified ignore on the line above.
+func waivedLineAbove() time.Time {
+	//sbcheck:ignore detclock fixture demonstrating the line-above form
+	return time.Now()
+}
+
+// missingReason: an ignore with no justification does not suppress —
+// the wall-clock diagnostic survives and the bare ignore is flagged.
+func missingReason() time.Time {
+	return time.Now() //sbcheck:ignore detclock // want `needs a justification` `time\.Now reads the wall clock`
+}
+
+// unknownAnalyzer: naming a non-existent analyzer is flagged and
+// suppresses nothing.
+func unknownAnalyzer() time.Time {
+	return time.Now() //sbcheck:ignore clockdet typo in the analyzer name // want `unknown analyzer "clockdet"` `time\.Now reads the wall clock`
+}

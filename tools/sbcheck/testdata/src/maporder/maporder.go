@@ -1,0 +1,43 @@
+// Package maporder is the failing fixture for the maporder analyzer:
+// results and output built in map-iteration order must be diagnosed.
+package maporder
+
+import "fmt"
+
+// keysUnsorted returns keys in map-iteration order — different on
+// every run.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends to out while ranging over a map`
+	}
+	return out
+}
+
+// printUnsorted streams report lines in map-iteration order.
+func printUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println writes to an output sink while ranging over a map`
+	}
+}
+
+// report accumulates into a struct field; field targets are tracked
+// like locals.
+type report struct{ rows []string }
+
+func (r *report) fill(m map[string]int) {
+	for k := range m {
+		r.rows = append(r.rows, k) // want `appends to rows while ranging over a map`
+	}
+}
+
+// namedMap proves the check sees through named map types.
+type index map[string][]int
+
+func flatten(x index) []int {
+	var out []int
+	for _, vs := range x {
+		out = append(out, vs...) // want `appends to out while ranging over a map`
+	}
+	return out
+}

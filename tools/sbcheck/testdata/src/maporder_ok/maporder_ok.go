@@ -1,0 +1,54 @@
+// Package maporder_ok is the passing fixture for the maporder
+// analyzer: the sanctioned patterns for deterministic map consumption.
+package maporder_ok
+
+import (
+	"fmt"
+	"sort"
+)
+
+// keysSorted collects then sorts — the canonical pattern.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// printSorted iterates an already-sorted key slice, not the map.
+func printSorted(m map[string]int) {
+	for _, k := range keysSorted(m) {
+		fmt.Println(k, m[k])
+	}
+}
+
+// total folds commutatively; order cannot matter and nothing is
+// appended.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// regroup performs keyed accumulation — order-independent, the index
+// fully determines where each element lands.
+func regroup(m map[string]int, by map[int][]string) {
+	for k, v := range m {
+		by[v] = append(by[v], k)
+	}
+}
+
+// sortedLater accumulates pairs and sorts them with sort.Slice before
+// returning, proving the clearing scan sees closure arguments.
+func sortedLater(m map[string]int) []string {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
