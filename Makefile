@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench docs-check examples-check ablate-smoke
+.PHONY: check build vet lint test race bench docs-check examples-check ablate-smoke loadrig-smoke
 
 check: build vet race
 
@@ -24,6 +24,17 @@ examples-check:
 # CI's ablation-smoke job calls this.
 ablate-smoke:
 	timeout 300 $(GO) run ./cmd/experiments -ablate -days 3 -clients 200 -seed 42
+
+# loadrig-smoke drives a short fleet run over real loopback sockets
+# with a server-side rate limit low enough to force 429 + Retry-After
+# traffic, then validates the emitted BENCH_loadrig.json by re-reading
+# it; CI's bench-smoke job calls this.
+loadrig-smoke:
+	timeout 120 $(GO) run ./cmd/experiments -loadrig \
+		-loadrig-workers 8 -loadrig-clients 64 -loadrig-requests 200 \
+		-loadrig-rate 4000 -loadrig-burst 100 -loadrig-retries 20 \
+		-bench-out BENCH_loadrig.json
+	$(GO) run ./tools/doccheck -bench BENCH_loadrig.json
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"sbprivacy/internal/loadrig"
+	"sbprivacy/internal/sbclient"
+)
+
+// loadrigOptions carries the -loadrig flag set into the run.
+type loadrigOptions struct {
+	workers  int
+	clients  int
+	requests int // per worker; 0 = timed run
+	secs     int
+	scale    int
+	seed     int64
+	rate     float64
+	burst    int
+	inflight int
+	retries  int
+	benchOut string
+}
+
+// runLoadrig executes one fleet-scale load-rig run over real HTTP
+// sockets and writes the machine-readable BENCH report — the perf
+// trajectory point for this commit.
+func runLoadrig(w io.Writer, opts loadrigOptions) error {
+	cfg := loadrig.Config{
+		Workers:           opts.workers,
+		Clients:           opts.clients,
+		RequestsPerWorker: opts.requests,
+		Duration:          time.Duration(opts.secs) * time.Second,
+		Scale:             opts.scale,
+		Seed:              opts.seed,
+		RatePerSec:        opts.rate,
+		Burst:             opts.burst,
+		MaxInFlight:       opts.inflight,
+		Retry:             sbclient.RetryPolicy{MaxRetries: opts.retries},
+	}
+	mode := fmt.Sprintf("%d requests/worker", opts.requests)
+	if opts.requests <= 0 {
+		mode = fmt.Sprintf("%ds timed", opts.secs)
+	}
+	fmt.Fprintf(w, "loadrig: %d workers x %d clients over real sockets (%s)\n",
+		cfg.Workers, cfg.Clients, mode)
+	if opts.rate > 0 || opts.inflight > 0 {
+		fmt.Fprintf(w, "loadrig: server limits: rate=%.0f/s burst=%d inflight=%d\n",
+			opts.rate, opts.burst, opts.inflight)
+	}
+
+	rep, err := loadrig.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "loadrig: %d requests in %.2fs = %.0f req/s (%d failures)\n",
+		rep.Requests, rep.DurationSeconds, rep.ThroughputRPS, rep.Failures)
+	fmt.Fprintf(w, "loadrig: latency p50=%.0fµs p95=%.0fµs p99=%.0fµs max=%.0fµs\n",
+		rep.Latency.P50Micros, rep.Latency.P95Micros, rep.Latency.P99Micros, rep.Latency.MaxMicros)
+	fmt.Fprintf(w, "loadrig: client attempts=%d retries=%d 429s=%d 5xx=%d transport-errors=%d\n",
+		rep.Client.Attempts, rep.Client.Retries, rep.Client.RateLimited429,
+		rep.Client.ServerErrors5xx, rep.Client.TransportErrors)
+	fmt.Fprintf(w, "loadrig: server allowed=%d rate-limited=%d overloaded=%d probes received=%d dropped=%d\n",
+		rep.Server.Allowed, rep.Server.RateLimited, rep.Server.Overloaded,
+		rep.Server.ProbesReceived, rep.Server.ProbesDropped)
+
+	if opts.benchOut != "" {
+		if err := rep.WriteFile(opts.benchOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "loadrig: wrote %s\n", opts.benchOut)
+	}
+	return nil
+}

@@ -50,8 +50,15 @@ func loadTest(workers, batch int, duration time.Duration, scale int, seed int64)
 		requests atomic.Uint64
 		entries  atomic.Uint64
 		wg       sync.WaitGroup
+
+		// A worker that errors out must fail the whole run, not silently
+		// shrink the fleet: failed carries the first error and ends the
+		// measurement window early.
+		failOnce  sync.Once
+		workerErr error
 	)
 	stop := make(chan struct{})
+	failed := make(chan struct{})
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -77,7 +84,10 @@ func loadTest(workers, batch int, duration time.Duration, scale int, seed int64)
 				}
 				resps, err := srv.FullHashesBatch(reqs)
 				if err != nil {
-					fmt.Printf("loadtest: %v\n", err)
+					failOnce.Do(func() {
+						workerErr = fmt.Errorf("worker %d: %w", id, err)
+						close(failed)
+					})
 					return
 				}
 				requests.Add(uint64(len(reqs)))
@@ -87,13 +97,19 @@ func loadTest(workers, batch int, duration time.Duration, scale int, seed int64)
 			}
 		}(w)
 	}
-	time.Sleep(duration)
+	select {
+	case <-time.After(duration):
+	case <-failed:
+	}
 	close(stop)
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	if err := srv.Close(); err != nil {
 		return err
+	}
+	if workerErr != nil {
+		return fmt.Errorf("loadtest: %w", workerErr)
 	}
 	stats := srv.ProbeStats()
 	total := requests.Load()

@@ -6,6 +6,7 @@
 //	experiments -run all               # everything
 //	experiments -run figure5 -hosts 20000
 //	experiments -loadtest 8 -loadtest-secs 5   # provider throughput load test
+//	experiments -loadrig -loadrig-workers 64   # fleet rig over real sockets
 //	experiments -campaign -days 7 -clients 1000 -seed 42
 //
 // Scale knobs: -hosts controls the synthetic corpus size (Figures 5/6,
@@ -19,6 +20,12 @@
 // ground truth, and verifies an offline replay of the store reproduces
 // the live report exactly. -campaign-store picks the store directory
 // (default: a fresh temp directory, printed and kept).
+//
+// Load rig mode (-loadrig) drives a concurrent client fleet through
+// the production HTTP transport over real loopback sockets, optionally
+// against server-side rate limits (-loadrig-rate, -loadrig-inflight),
+// and writes the machine-readable benchmark report to -bench-out
+// (default BENCH_loadrig.json).
 package main
 
 import (
@@ -63,6 +70,17 @@ func run() int {
 		ablate       = flag.Bool("ablate", false, "run the mitigation ablation grid over the campaign instead of experiments")
 		ablateStore  = flag.String("ablate-store", "", "root directory for the per-cell probe stores (default: fresh temp dir, printed and kept)")
 		ablateVerify = flag.Bool("ablate-verify", true, "re-run every cell and check its report reproduces deep-equal")
+
+		rig         = flag.Bool("loadrig", false, "run the fleet-scale load rig over real HTTP sockets instead of experiments")
+		rigWorkers  = flag.Int("loadrig-workers", 64, "load rig concurrent fleet workers")
+		rigClients  = flag.Int("loadrig-clients", 1024, "load rig distinct client cookies")
+		rigRequests = flag.Int("loadrig-requests", 0, "load rig requests per worker (0 = timed run of -loadrig-secs)")
+		rigSecs     = flag.Int("loadrig-secs", 5, "load rig timed-run duration in seconds")
+		rigRate     = flag.Float64("loadrig-rate", 0, "server token-bucket admission rate per second (0 = unlimited)")
+		rigBurst    = flag.Int("loadrig-burst", 0, "server token-bucket burst capacity (0 = ceil(rate))")
+		rigInflight = flag.Int("loadrig-inflight", 0, "server max concurrent requests in flight (0 = unlimited)")
+		rigRetries  = flag.Int("loadrig-retries", 0, "client retry budget per request (0 = default policy, negative = no retries)")
+		benchOut    = flag.String("bench-out", "BENCH_loadrig.json", "load rig report path ('' = don't write)")
 	)
 	flag.Parse()
 
@@ -99,6 +117,21 @@ func run() int {
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: campaign: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *rig {
+		err := runLoadrig(os.Stdout, loadrigOptions{
+			workers: *rigWorkers, clients: *rigClients,
+			requests: *rigRequests, secs: *rigSecs,
+			scale: *scale, seed: *seed,
+			rate: *rigRate, burst: *rigBurst, inflight: *rigInflight,
+			retries: *rigRetries, benchOut: *benchOut,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: loadrig: %v\n", err)
 			return 1
 		}
 		return 0

@@ -7,6 +7,12 @@
 //	sbserver -addr :8045 -provider yandex -scale 100
 //	sbserver -urls blacklist.txt -probe-log-limit 100000 -probe-drop
 //	sbserver -probe-store /var/log/sb-probes -probe-store-retain 64
+//	sbserver -rate-limit 500 -rate-burst 100 -max-inflight 64
+//
+// With -rate-limit or -max-inflight the HTTP handlers sit behind a
+// token-bucket admission limiter and an in-flight concurrency gate
+// (internal/sbserver.Limiter); rejected requests get 429 with a
+// Retry-After hint that sbclient's retry layer honors.
 //
 // With -probe-store every observed probe is additionally persisted to a
 // segmented on-disk log (internal/probestore) that cmd/sbanalyze can
@@ -58,6 +64,10 @@ func run() int {
 		storeSegMB    = flag.Int("probe-store-segment-mb", 4, "probe store segment rotation size in MiB")
 		storeRetain   = flag.Int("probe-store-retain", 0, "keep only the newest N probe store segments (0 = keep all)")
 		storeRetainMB = flag.Int("probe-store-retain-mb", 0, "bound the probe store to N MiB on disk (0 = unbounded)")
+
+		rateLimit   = flag.Float64("rate-limit", 0, "token-bucket admission rate in requests/second (0 = unlimited)")
+		rateBurst   = flag.Int("rate-burst", 0, "token-bucket burst capacity (0 = ceil(rate-limit))")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrent requests in flight before shedding with 429 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -135,9 +145,20 @@ func run() int {
 	}
 	log.Printf("serving %s blacklists on http://%s", p, *addr)
 
+	var handlerOpts []sbserver.HandlerOption
+	if *rateLimit > 0 || *maxInflight > 0 {
+		limiter := sbserver.NewLimiter(sbserver.LimitConfig{
+			RatePerSec:  *rateLimit,
+			Burst:       *rateBurst,
+			MaxInFlight: *maxInflight,
+		})
+		handlerOpts = append(handlerOpts, sbserver.WithLimiter(limiter))
+		log.Printf("admission limits: rate=%g/s burst=%d max-inflight=%d",
+			*rateLimit, *rateBurst, *maxInflight)
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           sbserver.Handler(u.Server),
+		Handler:           sbserver.Handler(u.Server, handlerOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

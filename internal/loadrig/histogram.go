@@ -1,0 +1,168 @@
+package loadrig
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram bucket geometry: below 2^subBits nanoseconds buckets are
+// exact one-nanosecond cells; above, each power-of-two octave is split
+// into 2^subBits log-spaced sub-buckets, so the relative quantile error
+// is bounded by 1/2^subBits = 12.5%. Values at or above maxTrackable
+// (~18.3 minutes) land in a single overflow bucket whose representative
+// value is the recorded maximum.
+const (
+	subBits      = 3
+	subBuckets   = 1 << subBits       // 8
+	maxTrackable = int64(1) << 40     // ns; ≈ 18.3 min
+	numBuckets   = (40-subBits)*8 + 9 // buckets below maxTrackable, +1 overflow
+	overflowIdx  = numBuckets - 1
+)
+
+// Histogram is a fixed-size log-scale latency histogram. It is NOT safe
+// for concurrent use: the rig keeps one per worker and merges them
+// after the fleet stops, so the record path takes no locks.
+type Histogram struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: -1}
+}
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < subBuckets {
+		return int(ns)
+	}
+	if ns >= maxTrackable {
+		return overflowIdx
+	}
+	top := bits.Len64(uint64(ns)) - 1 // position of highest set bit, ≥ subBits
+	sub := int(ns>>(uint(top)-subBits)) & (subBuckets - 1)
+	return (top-subBits+1)*subBuckets + sub
+}
+
+// bucketLow returns the smallest nanosecond value mapping to bucket b
+// (b < overflowIdx).
+func bucketLow(b int) int64 {
+	if b < subBuckets {
+		return int64(b)
+	}
+	oct := b >> subBits
+	sub := int64(b & (subBuckets - 1))
+	return (subBuckets + sub) << (uint(oct) - 1)
+}
+
+// bucketHigh returns the largest nanosecond value mapping to bucket b.
+func bucketHigh(b int) int64 {
+	if b >= overflowIdx-1 {
+		return maxTrackable - 1
+	}
+	return bucketLow(b+1) - 1
+}
+
+// Record adds one observation. Negative durations (a clock hiccup)
+// clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)]++
+	h.total++
+	h.sum += ns
+	if h.min < 0 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds other into h. Merging is commutative and associative, so
+// per-worker histograms combine in any order to the same result.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if h.min < 0 || (other.min >= 0 && other.min < h.min) {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded duration (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.min < 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded duration (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the arithmetic mean of recorded durations (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.total))
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) of
+// the recorded distribution: the high edge of the bucket holding the
+// rank-q observation, clamped to the recorded min/max. The bound is
+// within 12.5% of the exact order statistic (exact below 8ns and for
+// the overflow bucket, which reports the recorded max). Empty
+// histograms return 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the order statistic: ceil(q*total),
+	// at least 1, so Quantile(0) = min and Quantile(1) = max.
+	rank := uint64(q * float64(h.total))
+	if float64(rank) < q*float64(h.total) || rank == 0 {
+		rank++
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if b == overflowIdx {
+				return time.Duration(h.max)
+			}
+			v := bucketHigh(b)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

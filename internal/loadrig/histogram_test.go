@@ -1,0 +1,193 @@
+package loadrig
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// refQuantile is the sorted-slice reference the histogram is judged
+// against, using the same rank definition (1-based ceil(q·n)).
+func refQuantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) || rank == 0 {
+		rank++
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles asserts the histogram's quantiles bracket the
+// reference: never below it (the histogram reports bucket upper
+// bounds) and within the documented 12.5% relative error above it.
+func checkQuantiles(t *testing.T, name string, values []time.Duration) {
+	t.Helper()
+	h := NewHistogram()
+	for _, v := range values {
+		h.Record(v)
+	}
+	sorted := append([]time.Duration(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		ref := refQuantile(sorted, q)
+		got := h.Quantile(q)
+		if got < ref {
+			t.Errorf("%s: Quantile(%v) = %v below reference %v", name, q, got, ref)
+		}
+		// Upper bound: one bucket's width, i.e. ≤ 12.5% + 1ns — except
+		// when the rank falls in the overflow bucket, where the histogram
+		// reports the recorded max (checked to still be ≥ ref above).
+		if ref < time.Duration(maxTrackable) {
+			hi := time.Duration(float64(ref)*1.125) + 1
+			if hi > h.Max() {
+				hi = h.Max() // quantiles clamp to the recorded max
+			}
+			if got > hi {
+				t.Errorf("%s: Quantile(%v) = %v exceeds bound %v (ref %v)", name, q, got, hi, ref)
+			}
+		}
+	}
+	if h.Count() != uint64(len(values)) {
+		t.Errorf("%s: Count = %d, want %d", name, h.Count(), len(values))
+	}
+	if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("%s: min/max = %v/%v, want %v/%v", name, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+	}
+}
+
+// TestHistogramQuantilesVsReference runs the histogram against a
+// sorted-slice reference on adversarial distributions.
+func TestHistogramQuantilesVsReference(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+
+	single := make([]time.Duration, 1000)
+	for i := range single {
+		single[i] = 5 * time.Microsecond // every observation in one bucket
+	}
+	checkQuantiles(t, "single-bucket", single)
+
+	bimodal := make([]time.Duration, 0, 1000)
+	for i := 0; i < 500; i++ {
+		bimodal = append(bimodal, time.Microsecond+time.Duration(rng.Intn(100)))
+		bimodal = append(bimodal, time.Second+time.Duration(rng.Intn(1e6)))
+	}
+	checkQuantiles(t, "bimodal", bimodal)
+
+	uniform := make([]time.Duration, 5000)
+	for i := range uniform {
+		uniform[i] = time.Duration(rng.Int63n(int64(10 * time.Second)))
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	tiny := make([]time.Duration, 64)
+	for i := range tiny {
+		tiny[i] = time.Duration(rng.Intn(subBuckets)) // the exact 1ns cells
+	}
+	checkQuantiles(t, "tiny-exact", tiny)
+
+	skewed := make([]time.Duration, 2000)
+	for i := range skewed {
+		skewed[i] = time.Duration(1) << uint(rng.Intn(39)) // one per octave edge
+	}
+	checkQuantiles(t, "octave-edges", skewed)
+}
+
+// TestHistogramOverflowBucket: values beyond the trackable range land
+// in the overflow bucket and quantiles there report the recorded max.
+func TestHistogramOverflowBucket(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram()
+	huge := time.Duration(maxTrackable) * 3
+	h.Record(huge)
+	h.Record(huge + time.Hour)
+	h.Record(time.Millisecond)
+	if got := h.Quantile(0.99); got != huge+time.Hour {
+		t.Errorf("overflow quantile = %v, want recorded max %v", got, huge+time.Hour)
+	}
+	if got := h.Quantile(0); got < time.Millisecond || got > time.Duration(float64(time.Millisecond)*1.125)+1 {
+		t.Errorf("Quantile(0) = %v, want within one bucket above the 1ms min", got)
+	}
+	if h.counts[overflowIdx] != 2 {
+		t.Errorf("overflow bucket count = %d, want 2", h.counts[overflowIdx])
+	}
+}
+
+// TestHistogramBucketGeometry: bucketOf and the bucket bounds agree —
+// every value maps into the bucket whose [low, high] range contains it,
+// and bucket edges are contiguous.
+func TestHistogramBucketGeometry(t *testing.T) {
+	t.Parallel()
+	values := []int64{0, 1, 7, 8, 9, 15, 16, 31, 32, 100, 1023, 1024, 1025,
+		maxTrackable - 1, 1<<39 + 12345}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		values = append(values, rng.Int63n(maxTrackable))
+	}
+	for _, v := range values {
+		b := bucketOf(v)
+		if b < 0 || b >= overflowIdx {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, b)
+		}
+		if lo, hi := bucketLow(b), bucketHigh(b); v < lo || v > hi {
+			t.Errorf("value %d in bucket %d with range [%d, %d]", v, b, lo, hi)
+		}
+	}
+	for b := 1; b < overflowIdx; b++ {
+		if bucketLow(b) != bucketHigh(b-1)+1 {
+			t.Errorf("gap between bucket %d (high %d) and %d (low %d)",
+				b-1, bucketHigh(b-1), b, bucketLow(b))
+		}
+	}
+}
+
+// TestHistogramMergeAssociativity: merging per-worker histograms is
+// associative and commutative — any merge tree yields the identical
+// histogram, so the rig's merge order cannot affect the report.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(23))
+	parts := make([]*Histogram, 4)
+	for i := range parts {
+		parts[i] = NewHistogram()
+		for j := 0; j < 500*(i+1); j++ {
+			parts[i].Record(time.Duration(rng.Int63n(int64(2 * time.Second))))
+		}
+	}
+	// ((a+b)+c)+d
+	left := NewHistogram()
+	for _, p := range parts {
+		left.Merge(p)
+	}
+	// a+((b+c)+d) built right-to-left
+	right := NewHistogram()
+	for i := len(parts) - 1; i >= 0; i-- {
+		right.Merge(parts[i])
+	}
+	if *left != *right {
+		t.Error("merge order changed the histogram")
+	}
+	// Merging an empty histogram is the identity.
+	withEmpty := NewHistogram()
+	withEmpty.Merge(left)
+	withEmpty.Merge(NewHistogram())
+	if *withEmpty != *left {
+		t.Error("merging an empty histogram changed the result")
+	}
+	// And the merged quantiles match a histogram over the union stream.
+	rng = rand.New(rand.NewSource(23))
+	union := NewHistogram()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 500*(i+1); j++ {
+			union.Record(time.Duration(rng.Int63n(int64(2 * time.Second))))
+		}
+	}
+	if *union != *left {
+		t.Error("merged histogram differs from single-stream histogram")
+	}
+}

@@ -1,0 +1,312 @@
+// Package loadrig is the fleet-scale load rig: it pushes a concurrent
+// fleet of simulated Safe Browsing clients through
+// sbclient.HTTPTransport over real TCP sockets against a live sbserver
+// HTTP listener, measures per-request latency into log-scale
+// histograms, and emits a machine-readable Report (BENCH_loadrig.json)
+// — the repo's performance-trajectory unit and regression guard.
+//
+// The client side shares one pooled http.Client (tuned
+// MaxIdleConnsPerHost, keep-alives) behind a shared
+// sbclient.RetryTransport, so retries, backoff and Retry-After
+// handling are exactly the production client stack. The server side
+// optionally runs behind a sbserver.Limiter (token bucket + in-flight
+// gate), letting the rig measure graceful degradation under induced
+// overload: 429s absorbed by client backoff rather than collapse.
+//
+// Unlike internal/workload campaigns — which trade concurrency for
+// byte-identical reproducibility — the rig is genuinely concurrent and
+// wall-clock timed; its numbers are throughput and latency, not
+// deterministic probe streams.
+package loadrig
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"sbprivacy/internal/blacklist"
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/sbclient"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/wire"
+)
+
+// Config parameterizes one rig run. Zero values take the documented
+// defaults, so Config{} is a valid five-second smoke run.
+type Config struct {
+	// Workers is the number of concurrent fleet workers, each with its
+	// own request loop and latency histogram (default 16).
+	Workers int
+	// Clients is the number of distinct client cookies the fleet
+	// spreads its requests over (default 16 per worker).
+	Clients int
+	// RequestsPerWorker fixes each worker's request budget; 0 switches
+	// to a timed run of Duration.
+	RequestsPerWorker int
+	// Duration is the timed-run length (default 5s; ignored when
+	// RequestsPerWorker > 0).
+	Duration time.Duration
+	// Scale is the blacklist scale divisor (default 100).
+	Scale int
+	// Seed seeds the synthetic universe and the per-worker request
+	// streams (default 2015).
+	Seed int64
+	// RatePerSec enables the server-side token bucket (0 = off).
+	RatePerSec float64
+	// Burst is the token-bucket capacity (0 = ceil(RatePerSec)).
+	Burst int
+	// MaxInFlight enables the server-side concurrency gate (0 = off).
+	MaxInFlight int
+	// Retry is the fleet's retry policy; zero fields take
+	// sbclient.DefaultRetryPolicy values.
+	Retry sbclient.RetryPolicy
+	// RequestTimeout bounds each HTTP attempt (default 10s).
+	RequestTimeout time.Duration
+}
+
+// withDefaults resolves zero-valued fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Clients <= 0 {
+		c.Clients = c.Workers * 16
+	}
+	if c.RequestsPerWorker <= 0 && c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Scale <= 0 {
+		c.Scale = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 2015
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// workerResult is one worker's tally, merged after the fleet stops.
+type workerResult struct {
+	hist    *Histogram
+	ok      uint64
+	failed  uint64
+	entries uint64
+}
+
+// Run executes one rig run: build the synthetic universe, serve it on
+// a real loopback socket, drive the fleet, and assemble the Report.
+// ctx cancellation stops the fleet early (the report still covers what
+// ran). The returned report has passed Validate.
+func Run(ctx context.Context, cfg Config) (rep *Report, err error) {
+	cfg = cfg.withDefaults()
+
+	u, err := blacklist.BuildUniverse(blacklist.UniverseConfig{
+		Provider: blacklist.Google, Scale: cfg.Scale, Seed: cfg.Seed,
+		// A rig run records a probe per lookup; keep a bounded window so
+		// the generator doesn't eat the heap at millions of requests.
+		ServerOptions: []sbserver.Option{sbserver.WithProbeLogLimit(1 << 14)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := u.Server
+	closed := false
+	defer func() {
+		if !closed {
+			if cerr := srv.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+		}
+	}()
+
+	// Real planted prefixes so a share of the traffic hits and exercises
+	// the full-hash path end to end.
+	var prefixes []hashx.Prefix
+	for _, name := range srv.ListNames() {
+		ps, perr := srv.PrefixesOf(name)
+		if perr != nil {
+			return nil, perr
+		}
+		prefixes = append(prefixes, ps...)
+	}
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("loadrig: universe has no prefixes")
+	}
+
+	limiter := sbserver.NewLimiter(sbserver.LimitConfig{
+		RatePerSec:  cfg.RatePerSec,
+		Burst:       cfg.Burst,
+		MaxInFlight: cfg.MaxInFlight,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{
+		Handler:           sbserver.Handler(srv, sbserver.WithLimiter(limiter)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	defer httpSrv.Close() //nolint:errcheck // net/http close; idempotent backstop
+
+	// One pooled client for the whole fleet: enough idle conns per host
+	// that every worker keeps its connection alive across requests
+	// instead of redialing (the shared-HTTP-client shape).
+	pooled := &http.Client{
+		Timeout: cfg.RequestTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * cfg.Workers,
+			MaxIdleConnsPerHost: 2 * cfg.Workers,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	retry := sbclient.NewRetryTransport(sbclient.HTTPTransport{
+		BaseURL: "http://" + ln.Addr().String(),
+		Client:  pooled,
+	}, cfg.Retry)
+
+	// stop ends a timed run without canceling in-flight requests, so a
+	// request racing the deadline completes instead of polluting the
+	// failure count with rig-induced cancellations.
+	stop := make(chan struct{})
+	if cfg.RequestsPerWorker <= 0 {
+		timer := time.AfterFunc(cfg.Duration, func() { close(stop) })
+		defer timer.Stop()
+	}
+
+	results := make([]workerResult, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res := &results[id]
+			res.hist = NewHistogram()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id) + 1))
+			req := &wire.FullHashRequest{Prefixes: make([]hashx.Prefix, 2)}
+			for n := 0; cfg.RequestsPerWorker <= 0 || n < cfg.RequestsPerWorker; n++ {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				req.ClientID = fmt.Sprintf("fleet-%05d", rng.Intn(cfg.Clients))
+				req.Prefixes[0] = prefixes[rng.Intn(len(prefixes))] // hit
+				req.Prefixes[1] = hashx.Prefix(rng.Uint32())        // ~always a miss
+				t0 := time.Now()
+				resp, rerr := retry.FullHashes(ctx, req)
+				res.hist.Record(time.Since(t0))
+				if rerr != nil {
+					res.failed++
+					continue
+				}
+				res.ok++
+				res.entries += uint64(len(resp.Entries))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Drain in order: stop the listener (no new requests), then flush
+	// the probe pipeline so the stats below are complete.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if serr := httpSrv.Shutdown(shutdownCtx); serr != nil {
+		return nil, fmt.Errorf("loadrig: server shutdown: %w", serr)
+	}
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return nil, fmt.Errorf("loadrig: serve: %w", serr)
+	}
+	closed = true
+	if cerr := srv.Close(); cerr != nil {
+		return nil, cerr
+	}
+
+	merged := NewHistogram()
+	var ok, failed, entries uint64
+	for i := range results {
+		if results[i].hist == nil {
+			continue
+		}
+		merged.Merge(results[i].hist)
+		ok += results[i].ok
+		failed += results[i].failed
+		entries += results[i].entries
+	}
+
+	micros := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	rstats := retry.Stats()
+	lstats := limiter.Stats()
+	pstats := srv.ProbeStats()
+	report := &Report{
+		Schema: ReportSchema,
+		Config: ReportConfig{
+			Workers:           cfg.Workers,
+			Clients:           cfg.Clients,
+			RequestsPerWorker: cfg.RequestsPerWorker,
+			DurationSeconds:   cfg.Duration.Seconds(),
+			Scale:             cfg.Scale,
+			Seed:              cfg.Seed,
+			RatePerSec:        cfg.RatePerSec,
+			Burst:             cfg.Burst,
+			MaxInFlight:       cfg.MaxInFlight,
+			MaxRetries:        retryBudget(cfg.Retry),
+		},
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        ok,
+		Failures:        failed,
+		ThroughputRPS:   float64(ok) / elapsed.Seconds(),
+		Latency: LatencySummary{
+			P50Micros:  micros(merged.Quantile(0.50)),
+			P95Micros:  micros(merged.Quantile(0.95)),
+			P99Micros:  micros(merged.Quantile(0.99)),
+			MeanMicros: micros(merged.Mean()),
+			MinMicros:  micros(merged.Min()),
+			MaxMicros:  micros(merged.Max()),
+		},
+		Client: ClientStats{
+			Attempts:        rstats.Attempts,
+			Retries:         rstats.Retries,
+			RateLimited429:  rstats.RateLimited,
+			ServerErrors5xx: rstats.ServerErrors,
+			TransportErrors: rstats.TransportErrors,
+		},
+		Server: ServerStats{
+			Allowed:        lstats.Allowed,
+			RateLimited:    lstats.RateLimited,
+			Overloaded:     lstats.Overloaded,
+			ProbesReceived: pstats.Received,
+			ProbesDropped:  pstats.Dropped,
+			ProbesEvicted:  pstats.Evicted,
+		},
+		MatchedEntries: entries,
+	}
+	if verr := report.Validate(); verr != nil {
+		return nil, fmt.Errorf("loadrig: run produced an invalid report: %w", verr)
+	}
+	return report, nil
+}
+
+// retryBudget resolves the effective MaxRetries the fleet ran with.
+func retryBudget(p sbclient.RetryPolicy) int {
+	switch {
+	case p.MaxRetries > 0:
+		return p.MaxRetries
+	case p.MaxRetries < 0:
+		return 0
+	default:
+		return sbclient.DefaultRetryPolicy.MaxRetries
+	}
+}

@@ -1,0 +1,204 @@
+package loadrig
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sbprivacy/internal/sbclient"
+)
+
+// TestRigGoldenSchema is the BENCH_loadrig.json schema guard: a short
+// real-socket rig run must produce a report that validates, writes,
+// and round-trips through the typed struct with every required field
+// populated.
+func TestRigGoldenSchema(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Workers:           4,
+		Clients:           32,
+		RequestsPerWorker: 25,
+		Scale:             1000,
+		Seed:              42,
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Requests != 100 || rep.Failures != 0 {
+		t.Errorf("requests/failures = %d/%d, want 100/0", rep.Requests, rep.Failures)
+	}
+	if rep.MatchedEntries == 0 {
+		t.Error("no matched entries: the hit share of the traffic found nothing")
+	}
+	if rep.Server.Allowed != rep.Client.Attempts {
+		t.Errorf("server allowed %d != client attempts %d (no limits were configured)",
+			rep.Server.Allowed, rep.Client.Attempts)
+	}
+	if rep.Server.ProbesReceived != rep.Requests {
+		t.Errorf("probes received = %d, want one per served request (%d)",
+			rep.Server.ProbesReceived, rep.Requests)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_loadrig.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Error("report did not round-trip through JSON")
+	}
+
+	// The serialized form carries every schema field by its wire name —
+	// the contract trajectory tooling greps for.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read raw: %v", err)
+	}
+	for _, field := range []string{
+		`"schema"`, `"config"`, `"throughput_rps"`, `"p50_micros"`,
+		`"p95_micros"`, `"p99_micros"`, `"rate_limited_429"`, `"retries"`,
+		`"failures"`, `"probes_received"`, `"workers"`, `"seed"`,
+	} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("BENCH json missing field %s", field)
+		}
+	}
+}
+
+// TestRigOverloadRecovery is the graceful-degradation acceptance test:
+// under an induced server-side rate limit the fleet sees 429 +
+// Retry-After, backs off, and still completes every request — zero
+// failures, all overload absorbed by retry.
+func TestRigOverloadRecovery(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Workers:           8,
+		Clients:           64,
+		RequestsPerWorker: 20,
+		Scale:             1000,
+		Seed:              43,
+		// 8 workers hammering a 300/s bucket with burst 20 guarantees
+		// sustained rejection; client backoff (5ms base) shapes the fleet
+		// down to the admitted rate instead of failing.
+		RatePerSec: 300,
+		Burst:      20,
+		Retry: sbclient.RetryPolicy{
+			MaxRetries: 25,
+			BaseDelay:  5 * time.Millisecond,
+			MaxDelay:   100 * time.Millisecond,
+		},
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failures != 0 {
+		t.Errorf("failures = %d, want 0 (overload must be absorbed by retry)", rep.Failures)
+	}
+	if rep.Requests != 160 {
+		t.Errorf("requests = %d, want all 160 to complete", rep.Requests)
+	}
+	if rep.Server.RateLimited == 0 {
+		t.Error("server rejected nothing: the overload config did not induce overload")
+	}
+	if rep.Client.RateLimited429 == 0 || rep.Client.Retries == 0 {
+		t.Errorf("client saw %d 429s / %d retries, want both > 0",
+			rep.Client.RateLimited429, rep.Client.Retries)
+	}
+	if rep.Client.TransportErrors != 0 {
+		t.Errorf("transport errors = %d, want 0 (sockets never collapsed)", rep.Client.TransportErrors)
+	}
+	// The server's own accounting must agree with the fleet's.
+	if rep.Server.RateLimited != rep.Client.RateLimited429 {
+		t.Errorf("server counted %d rejections, fleet observed %d",
+			rep.Server.RateLimited, rep.Client.RateLimited429)
+	}
+}
+
+// TestRigCancel: canceling the context stops a timed run early without
+// an error from the rig machinery itself.
+func TestRigCancel(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: workers exit on their first loop check
+	rep, err := Run(ctx, Config{Workers: 2, Clients: 4, Duration: time.Minute, Scale: 1000})
+	if err == nil {
+		t.Fatalf("want validation error for empty run, got report %+v", rep)
+	}
+	// The run measured nothing, so the report must refuse to validate —
+	// that refusal is the expected shape, not a rig failure.
+	if !strings.Contains(err.Error(), "measured nothing") {
+		t.Errorf("err = %v, want the empty-run validation refusal", err)
+	}
+}
+
+// TestReportValidate rejects the corruption classes trajectory tooling
+// must never ingest silently.
+func TestReportValidate(t *testing.T) {
+	t.Parallel()
+	good := func() *Report {
+		return &Report{
+			Schema:          ReportSchema,
+			Config:          ReportConfig{Workers: 1, Clients: 1},
+			DurationSeconds: 1, Requests: 10, ThroughputRPS: 10,
+			Latency: LatencySummary{P50Micros: 1, P95Micros: 2, P99Micros: 3, MaxMicros: 4},
+			Client:  ClientStats{Attempts: 10},
+			Server:  ServerStats{ProbesReceived: 10},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+	mutate := map[string]func(*Report){
+		"schema":       func(r *Report) { r.Schema = "bogus/v0" },
+		"no-requests":  func(r *Report) { r.Requests = 0 },
+		"p95-below":    func(r *Report) { r.Latency.P95Micros = 0.5 },
+		"p99-below":    func(r *Report) { r.Latency.P99Micros = 1 },
+		"attempts-low": func(r *Report) { r.Client.Attempts = 3 },
+		"no-probes":    func(r *Report) { r.Server.ProbesReceived = 0 },
+	}
+	for name, mut := range mutate {
+		r := good()
+		mut(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: corrupted report validated", name)
+		}
+		if err := r.WriteFile(filepath.Join(t.TempDir(), "x.json")); err == nil {
+			t.Errorf("%s: corrupted report was written", name)
+		}
+	}
+}
+
+// TestReadFileRejectsDrift: a BENCH file with fields this reader does
+// not know is a schema drift and must fail loudly, not load partially.
+func TestReadFileRejectsDrift(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	drifted := filepath.Join(dir, "drift.json")
+	data := map[string]any{
+		"schema":            ReportSchema,
+		"mystery_new_field": 7,
+	}
+	raw, err := json.Marshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(drifted, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(drifted); err == nil {
+		t.Error("drifted schema loaded without error")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded without error")
+	}
+}

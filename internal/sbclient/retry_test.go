@@ -1,0 +1,278 @@
+package sbclient
+
+import (
+	"context"
+	"errors"
+	"net/url"
+	"testing"
+	"time"
+
+	"sbprivacy/internal/wire"
+)
+
+// scriptedTransport returns one scripted outcome per FullHashes call:
+// a non-nil error from the script, or success once the script runs out.
+// The deterministic stand-in for a flaky socket + overloaded server.
+type scriptedTransport struct {
+	script []error // nil entry = success
+	calls  int
+}
+
+func (s *scriptedTransport) Download(ctx context.Context, req *wire.DownloadRequest) (*wire.DownloadResponse, error) {
+	return nil, errors.New("scripted: no downloads")
+}
+
+func (s *scriptedTransport) FullHashes(ctx context.Context, req *wire.FullHashRequest) (*wire.FullHashResponse, error) {
+	s.calls++
+	if s.calls <= len(s.script) && s.script[s.calls-1] != nil {
+		return nil, s.script[s.calls-1]
+	}
+	return &wire.FullHashResponse{}, nil
+}
+
+// fakeSleeper records every requested backoff delay without sleeping.
+type fakeSleeper struct {
+	slept []time.Duration
+	err   error // returned from sleep (scripted ctx cancellation)
+}
+
+func (f *fakeSleeper) sleep(ctx context.Context, d time.Duration) error {
+	f.slept = append(f.slept, d)
+	return f.err
+}
+
+// timeoutError is a fake net.Error timeout (a dial or read deadline).
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "fake i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// fixedJitter pins the jitter source so the backoff schedule is exact:
+// 0.5 lands in the middle of the jitter window, i.e. multiplier 1.
+func fixedJitter(v float64) func() float64 {
+	return func() float64 { return v }
+}
+
+func newRetryFixture(script []error, policy RetryPolicy, jitter float64) (*RetryTransport, *scriptedTransport, *fakeSleeper) {
+	inner := &scriptedTransport{script: script}
+	sl := &fakeSleeper{}
+	rt := NewRetryTransport(inner, policy,
+		WithRetrySleep(sl.sleep),
+		WithRetryJitterSource(fixedJitter(jitter)))
+	return rt, inner, sl
+}
+
+// TestRetryBackoffSchedule: consecutive 500s walk the exponential
+// schedule base, 2·base, 4·base (jitter pinned to the window middle),
+// and the request succeeds once the server recovers.
+func TestRetryBackoffSchedule(t *testing.T) {
+	t.Parallel()
+	err500 := &StatusError{Path: "/h", StatusCode: 500}
+	policy := RetryPolicy{MaxRetries: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second, Jitter: 0.2}
+	rt, inner, sl := newRetryFixture([]error{err500, err500, err500}, policy, 0.5)
+
+	if _, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{}); err != nil {
+		t.Fatalf("FullHashes: %v", err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(sl.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", sl.slept, want)
+	}
+	for i, d := range want {
+		if sl.slept[i] != d {
+			t.Errorf("sleep %d = %v, want %v", i, sl.slept[i], d)
+		}
+	}
+	if inner.calls != 4 {
+		t.Errorf("inner calls = %d, want 4", inner.calls)
+	}
+	st := rt.Stats()
+	if st.Attempts != 4 || st.Retries != 3 || st.ServerErrors != 3 || st.Exhausted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestRetryBackoffCap: the pre-jitter delay never exceeds MaxDelay no
+// matter how many attempts have failed.
+func TestRetryBackoffCap(t *testing.T) {
+	t.Parallel()
+	err503 := &StatusError{Path: "/h", StatusCode: 503}
+	script := make([]error, 12)
+	for i := range script {
+		script[i] = err503
+	}
+	policy := RetryPolicy{MaxRetries: 12, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	rt, _, sl := newRetryFixture(script, policy, 0)
+	if _, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{}); err != nil {
+		t.Fatalf("FullHashes: %v", err)
+	}
+	for i, d := range sl.slept {
+		if d > time.Second {
+			t.Errorf("sleep %d = %v exceeds cap", i, d)
+		}
+	}
+	if last := sl.slept[len(sl.slept)-1]; last != time.Second {
+		t.Errorf("deep-attempt sleep = %v, want the 1s cap", last)
+	}
+}
+
+// TestRetryJitterBounds: for any jitter draw in [0,1), the slept delay
+// stays within [d·(1−j), d·(1+j)] of the pre-jitter schedule.
+func TestRetryJitterBounds(t *testing.T) {
+	t.Parallel()
+	err500 := &StatusError{Path: "/h", StatusCode: 500}
+	policy := RetryPolicy{MaxRetries: 1, BaseDelay: time.Second, MaxDelay: time.Minute, Jitter: 0.2}
+	for _, draw := range []float64{0, 0.25, 0.5, 0.75, 0.999999} {
+		rt, _, sl := newRetryFixture([]error{err500}, policy, draw)
+		if _, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{}); err != nil {
+			t.Fatalf("FullHashes: %v", err)
+		}
+		lo := time.Duration(float64(time.Second) * 0.8)
+		hi := time.Duration(float64(time.Second) * 1.2)
+		if d := sl.slept[0]; d < lo || d > hi {
+			t.Errorf("draw %v: sleep %v outside [%v, %v]", draw, d, lo, hi)
+		}
+	}
+}
+
+// TestRetryAfterPrecedence: a server-supplied Retry-After overrides the
+// computed backoff verbatim — no jitter, no cap — and a 429 without the
+// header falls back to the exponential schedule.
+func TestRetryAfterPrecedence(t *testing.T) {
+	t.Parallel()
+	policy := RetryPolicy{MaxRetries: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.2}
+
+	with := &StatusError{Path: "/h", StatusCode: 429, RetryAfter: 7 * time.Second}
+	rt, _, sl := newRetryFixture([]error{with}, policy, 0.99)
+	if _, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{}); err != nil {
+		t.Fatalf("FullHashes: %v", err)
+	}
+	if len(sl.slept) != 1 || sl.slept[0] != 7*time.Second {
+		t.Errorf("slept %v, want exactly [7s] (Retry-After wins over backoff and cap)", sl.slept)
+	}
+
+	without := &StatusError{Path: "/h", StatusCode: 429}
+	rt, _, sl = newRetryFixture([]error{without}, policy, 0.5)
+	if _, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{}); err != nil {
+		t.Fatalf("FullHashes: %v", err)
+	}
+	if len(sl.slept) != 1 || sl.slept[0] != 100*time.Millisecond {
+		t.Errorf("slept %v, want computed fallback [100ms]", sl.slept)
+	}
+	if st := rt.Stats(); st.RateLimited != 1 {
+		t.Errorf("RateLimited = %d, want 1", st.RateLimited)
+	}
+}
+
+// TestRetryNonRetryable: a non-overload 4xx and a decode-style error
+// surface immediately — retrying a request the server rejected as
+// malformed just repeats the rejection.
+func TestRetryNonRetryable(t *testing.T) {
+	t.Parallel()
+	for name, scripted := range map[string]error{
+		"404":    &StatusError{Path: "/h", StatusCode: 404},
+		"400":    &StatusError{Path: "/h", StatusCode: 400},
+		"decode": errors.New("sbclient: bad magic"),
+	} {
+		rt, inner, sl := newRetryFixture([]error{scripted}, RetryPolicy{}, 0.5)
+		_, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{})
+		if err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+		if inner.calls != 1 || len(sl.slept) != 0 {
+			t.Errorf("%s: calls = %d slept = %v, want one attempt and no sleeps", name, inner.calls, sl.slept)
+		}
+	}
+}
+
+// TestRetryTransportErrors: network-level failures — a url.Error from
+// the HTTP client, a raw net.Error timeout — are retried and counted.
+func TestRetryTransportErrors(t *testing.T) {
+	t.Parallel()
+	script := []error{
+		&url.Error{Op: "Post", URL: "http://x/h", Err: errors.New("connection refused")},
+		timeoutError{},
+	}
+	rt, inner, sl := newRetryFixture(script, RetryPolicy{MaxRetries: 4}, 0.5)
+	if _, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{}); err != nil {
+		t.Fatalf("FullHashes: %v", err)
+	}
+	if inner.calls != 3 || len(sl.slept) != 2 {
+		t.Errorf("calls = %d slept = %v, want 3 calls and 2 sleeps", inner.calls, sl.slept)
+	}
+	if st := rt.Stats(); st.TransportErrors != 2 {
+		t.Errorf("TransportErrors = %d, want 2", st.TransportErrors)
+	}
+}
+
+// TestRetryExhaustion: a persistently overloaded server fails the
+// request after MaxRetries+1 attempts with the final attempt's error.
+func TestRetryExhaustion(t *testing.T) {
+	t.Parallel()
+	err503 := &StatusError{Path: "/h", StatusCode: 503}
+	script := []error{err503, err503, err503, err503, err503}
+	rt, inner, _ := newRetryFixture(script, RetryPolicy{MaxRetries: 2}, 0.5)
+	_, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != 503 {
+		t.Fatalf("err = %v, want the 503 StatusError", err)
+	}
+	if inner.calls != 3 {
+		t.Errorf("calls = %d, want MaxRetries+1 = 3", inner.calls)
+	}
+	st := rt.Stats()
+	if st.Exhausted != 1 || st.ServerErrors != 3 {
+		t.Errorf("stats = %+v, want Exhausted 1, ServerErrors 3", st)
+	}
+}
+
+// TestRetryCanceledDuringBackoff: a context canceled while waiting out
+// a backoff aborts the request with the context's error.
+func TestRetryCanceledDuringBackoff(t *testing.T) {
+	t.Parallel()
+	err500 := &StatusError{Path: "/h", StatusCode: 500}
+	inner := &scriptedTransport{script: []error{err500, err500}}
+	sl := &fakeSleeper{err: context.Canceled}
+	rt := NewRetryTransport(inner, RetryPolicy{}, WithRetrySleep(sl.sleep), WithRetryJitterSource(fixedJitter(0.5)))
+	_, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("calls = %d, want 1 (no attempt after cancellation)", inner.calls)
+	}
+}
+
+// TestRetryCanceledContextNotRetried: an attempt failing with the
+// caller's own cancellation is not an overload signal.
+func TestRetryCanceledContextNotRetried(t *testing.T) {
+	t.Parallel()
+	rt, inner, sl := newRetryFixture([]error{context.DeadlineExceeded}, RetryPolicy{}, 0.5)
+	_, err := rt.FullHashes(context.Background(), &wire.FullHashRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if inner.calls != 1 || len(sl.slept) != 0 {
+		t.Errorf("calls = %d slept = %v, want no retries", inner.calls, sl.slept)
+	}
+}
+
+// TestParseRetryAfter: only the delay-seconds form parses; HTTP-dates
+// and garbage fall back to zero (computed backoff).
+func TestParseRetryAfter(t *testing.T) {
+	t.Parallel()
+	for in, want := range map[string]time.Duration{
+		"":                              0,
+		"7":                             7 * time.Second,
+		"0":                             0,
+		"-3":                            0,
+		"soon":                          0,
+		"Wed, 21 Oct 2015 07:28:00 GMT": 0,
+		"120":                           2 * time.Minute,
+	} {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"sbprivacy/internal/sbserver"
 	"sbprivacy/internal/wire"
@@ -43,6 +45,28 @@ func (t LocalTransport) FullHashesBatch(ctx context.Context, reqs []*wire.FullHa
 	return t.Server.FullHashesBatch(reqs)
 }
 
+// StatusError is the typed error HTTPTransport returns for a non-200
+// HTTP response. It preserves the status code and the server's
+// Retry-After hint so a retry layer (RetryTransport) can distinguish
+// overload (429, 5xx) from a client mistake (other 4xx) and pace its
+// retries the way the server asked.
+type StatusError struct {
+	// Path is the endpoint that answered, e.g. "/safebrowsing/gethash".
+	Path string
+	// StatusCode is the HTTP status of the response.
+	StatusCode int
+	// RetryAfter is the parsed Retry-After delay, zero when the header
+	// was absent or unparseable. Only delay-seconds form is recognized.
+	RetryAfter time.Duration
+	// Body holds up to the first 512 bytes of the response body.
+	Body string
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("sbclient: %s returned %d: %s", e.Path, e.StatusCode, e.Body)
+}
+
 // HTTPTransport talks to a remote server over HTTP using the binary wire
 // format.
 type HTTPTransport struct {
@@ -78,9 +102,28 @@ func (t HTTPTransport) post(ctx context.Context, path string, encode func(io.Wri
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		resp.Body.Close() //nolint:errcheck // already failing
-		return nil, fmt.Errorf("sbclient: %s returned %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+		return nil, &StatusError{
+			Path:       path,
+			StatusCode: resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			Body:       string(bytes.TrimSpace(msg)),
+		}
 	}
 	return resp.Body, nil
+}
+
+// parseRetryAfter parses the delay-seconds form of a Retry-After header.
+// HTTP-date form and garbage both yield zero: the retry layer then falls
+// back to its own backoff schedule.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Download implements Transport.

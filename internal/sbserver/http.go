@@ -16,13 +16,32 @@ const (
 	PathFullHashBatch = "/safebrowsing/gethash/batch"
 )
 
+// HandlerOption configures the HTTP handler returned by Handler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	limiter *Limiter
+}
+
+// WithLimiter places a Limiter in front of every endpoint: requests
+// over the admission rate or the in-flight cap are answered 429 with a
+// Retry-After hint before any body is read.
+func WithLimiter(l *Limiter) HandlerOption {
+	return func(c *handlerConfig) { c.limiter = l }
+}
+
 // Handler exposes the server over HTTP. Requests and responses use the
 // binary wire format with content type application/octet-stream.
 // Request bodies are capped at the maximum encoded size of each
 // message (http.MaxBytesReader over the wire-format bounds), so a
 // client cannot stream an unbounded body at a decoder: anything larger
 // necessarily violates a field limit and would be rejected anyway.
-func Handler(s *Server) http.Handler {
+// Options add server-side overload controls (WithLimiter).
+func Handler(s *Server, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathDownloads, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -102,5 +121,8 @@ func Handler(s *Server) http.Handler {
 			log.Printf("sbserver: encode fullhash batch response: %v", err)
 		}
 	})
+	if cfg.limiter != nil {
+		return cfg.limiter.Wrap(mux)
+	}
 	return mux
 }

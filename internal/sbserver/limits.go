@@ -1,0 +1,210 @@
+package sbserver
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TokenBucket is a clock-driven token-bucket rate limiter: capacity
+// burst, refilled at rate tokens per second, one token per admitted
+// request. Refill happens lazily on each Allow call from the elapsed
+// clock time, so the bucket costs nothing between requests and works
+// with a virtual clock in tests. Safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a full bucket admitting rate requests per
+// second with bursts up to burst. A nil now uses the wall clock.
+func NewTokenBucket(rate float64, burst int, now func() time.Time) *TokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	b := &TokenBucket{
+		rate:  rate,
+		burst: float64(burst),
+		now:   now,
+	}
+	b.tokens = b.burst
+	b.last = now()
+	return b
+}
+
+// Allow consumes one token if available. When the bucket is empty it
+// reports false together with the delay until a token will have
+// refilled — the server's Retry-After hint.
+func (b *TokenBucket) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+b.rate*elapsed.Seconds())
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Hour // closed bucket; hint something finite
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// InflightGate caps the number of requests being served at once — the
+// backpressure complement to the token bucket: the bucket bounds
+// arrival rate, the gate bounds concurrent residency. Safe for
+// concurrent use; the zero value is unusable, call NewInflightGate.
+type InflightGate struct {
+	max int64
+	cur atomic.Int64
+}
+
+// NewInflightGate returns a gate admitting up to max concurrent
+// holders; max < 1 is treated as 1.
+func NewInflightGate(max int) *InflightGate {
+	if max < 1 {
+		max = 1
+	}
+	return &InflightGate{max: int64(max)}
+}
+
+// TryAcquire claims a slot, reporting false with no slot held when the
+// gate is full. Every true return must be paired with Release.
+func (g *InflightGate) TryAcquire() bool {
+	if g.cur.Add(1) > g.max {
+		g.cur.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Release returns a slot claimed by a successful TryAcquire.
+func (g *InflightGate) Release() { g.cur.Add(-1) }
+
+// InFlight returns the number of slots currently held.
+func (g *InflightGate) InFlight() int64 { return g.cur.Load() }
+
+// LimitConfig configures a Limiter. Zero values disable the
+// corresponding control, so the zero config limits nothing.
+type LimitConfig struct {
+	// RatePerSec is the sustained request admission rate across all
+	// endpoints; 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket capacity; 0 defaults to
+	// max(1, ceil(RatePerSec)).
+	Burst int
+	// MaxInFlight caps concurrently served requests; 0 disables the
+	// gate.
+	MaxInFlight int
+	// OverloadRetryAfter is the Retry-After hint sent when the in-flight
+	// gate rejects (the bucket computes its own hint); 0 means 1s.
+	OverloadRetryAfter time.Duration
+	// Now overrides the bucket's clock (tests); nil uses the wall clock.
+	Now func() time.Time
+}
+
+// LimitStats reports what a Limiter did, read with Limiter.Stats.
+type LimitStats struct {
+	// Allowed counts requests admitted through both controls.
+	Allowed uint64
+	// RateLimited counts requests rejected by the token bucket.
+	RateLimited uint64
+	// Overloaded counts requests rejected by the in-flight gate.
+	Overloaded uint64
+}
+
+// Limiter applies a token-bucket admission rate and an in-flight
+// concurrency gate to an http.Handler, answering 429 with a Retry-After
+// hint when either control rejects. Graceful degradation under
+// overload: clients that honor Retry-After (sbclient.RetryTransport)
+// shed their excess load onto their own backoff schedule instead of
+// onto the server's sockets.
+type Limiter struct {
+	bucket *TokenBucket
+	gate   *InflightGate
+	hint   time.Duration
+
+	allowed     atomic.Uint64
+	rateLimited atomic.Uint64
+	overloaded  atomic.Uint64
+}
+
+// NewLimiter builds a limiter from cfg. A zero cfg yields a limiter
+// that admits everything (both controls disabled).
+func NewLimiter(cfg LimitConfig) *Limiter {
+	l := &Limiter{hint: cfg.OverloadRetryAfter}
+	if l.hint <= 0 {
+		l.hint = time.Second
+	}
+	if cfg.RatePerSec > 0 {
+		burst := cfg.Burst
+		if burst <= 0 {
+			burst = int(math.Ceil(cfg.RatePerSec))
+		}
+		l.bucket = NewTokenBucket(cfg.RatePerSec, burst, cfg.Now)
+	}
+	if cfg.MaxInFlight > 0 {
+		l.gate = NewInflightGate(cfg.MaxInFlight)
+	}
+	return l
+}
+
+// Stats returns a snapshot of the limiter's counters.
+func (l *Limiter) Stats() LimitStats {
+	return LimitStats{
+		Allowed:     l.allowed.Load(),
+		RateLimited: l.rateLimited.Load(),
+		Overloaded:  l.overloaded.Load(),
+	}
+}
+
+// Wrap applies the limiter in front of h. The token bucket is consulted
+// first (cheap, no residency), then the gate is held for the duration
+// of the wrapped handler.
+func (l *Limiter) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if l.bucket != nil {
+			if ok, retryAfter := l.bucket.Allow(); !ok {
+				l.rateLimited.Add(1)
+				reject(w, retryAfter, "rate limit exceeded")
+				return
+			}
+		}
+		if l.gate != nil {
+			if !l.gate.TryAcquire() {
+				l.overloaded.Add(1)
+				reject(w, l.hint, "server overloaded")
+				return
+			}
+			defer l.gate.Release()
+		}
+		l.allowed.Add(1)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// reject answers 429 with a Retry-After hint of at least one second
+// (the header carries whole seconds; rounding down to zero would tell
+// clients to hammer immediately).
+func reject(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	secs := int64(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	http.Error(w, msg, http.StatusTooManyRequests)
+}

@@ -15,9 +15,14 @@
 // least parses its flags ("go run ./cmd/X -h" exits 0) — the guard that
 // keeps the experiments playbook runnable as the CLIs evolve.
 //
+// A fifth, opt-in pass (-bench file.json) loads a BENCH_loadrig.json
+// report through the strict typed reader (unknown fields rejected,
+// invariants validated) — the schema regression guard "make
+// loadrig-smoke" and CI's bench-smoke job end on.
+//
 // Usage:
 //
-//	go run ./tools/doccheck [-md file.md]... [-cmds file.md]... [pkgdir]...
+//	go run ./tools/doccheck [-md file.md]... [-cmds file.md]... [-bench file.json]... [pkgdir]...
 //
 // With no arguments it checks the packages and documents this
 // repository cares about (internal/sbserver, internal/wire,
@@ -36,6 +41,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"sbprivacy/internal/loadrig"
 )
 
 // defaultPackages are the packages whose exported API must be fully
@@ -46,6 +53,8 @@ var defaultPackages = []string{
 	"internal/probestore",
 	"internal/core",
 	"internal/workload",
+	"internal/sbclient",
+	"internal/loadrig",
 }
 
 // defaultDocs are the markdown files whose relative links must resolve.
@@ -59,13 +68,15 @@ var defaultDocs = []string{
 func main() {
 	var mdFiles stringList
 	var cmdFiles stringList
+	var benchFiles stringList
 	flag.Var(&mdFiles, "md", "markdown file to link-check (repeatable)")
 	flag.Var(&cmdFiles, "cmds", "markdown file whose quoted 'go run ./cmd/X' commands must parse -h (repeatable)")
+	flag.Var(&benchFiles, "bench", "BENCH_loadrig.json report to validate against the typed schema (repeatable)")
 	flag.Parse()
 
 	pkgs := flag.Args()
 	sweep := false
-	if len(pkgs) == 0 && len(mdFiles) == 0 && len(cmdFiles) == 0 {
+	if len(pkgs) == 0 && len(mdFiles) == 0 && len(cmdFiles) == 0 && len(benchFiles) == 0 {
 		pkgs = defaultPackages
 		mdFiles = defaultDocs
 		sweep = true
@@ -83,6 +94,9 @@ func main() {
 	}
 	for _, md := range cmdFiles {
 		problems += checkQuotedCommands(md)
+	}
+	for _, bench := range benchFiles {
+		problems += checkBenchReport(bench)
 	}
 	if problems > 0 {
 		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", problems)
@@ -192,6 +206,20 @@ func checkQuotedCommands(md string) int {
 		}
 	}
 	return problems
+}
+
+// checkBenchReport loads a load-rig benchmark report through the strict
+// typed reader: unknown fields and invariant violations both fail, so a
+// drifted or corrupted BENCH file can't slip past CI looking valid.
+func checkBenchReport(path string) int {
+	rep, err := loadrig.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: bench %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("doccheck: %s ok (%s: %d requests, %.0f req/s, p99 %.0fµs)\n",
+		path, rep.Schema, rep.Requests, rep.ThroughputRPS, rep.Latency.P99Micros)
+	return 0
 }
 
 // stringList implements flag.Value for a repeatable string flag.
