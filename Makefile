@@ -44,9 +44,13 @@ vet:
 
 # lint runs the repo's invariant analyzer suite (tools/sbcheck: clock
 # discipline, seeded randomness, map-order determinism, Flush/Close
-# error checking) and go vet; CI's lint job gates on it.
+# error checking, lock-scope blocking, goroutine stop paths, context
+# flow, hot-path allocation budget) and go vet; CI's lint job gates on
+# it. The -waiver-budget flag holds the per-analyzer count of
+# sbcheck:ignore comments to the committed lint-waivers.txt, so new
+# suppressions take a reviewed edit to that file.
 lint:
-	$(GO) run ./tools/sbcheck ./...
+	$(GO) run ./tools/sbcheck -waiver-budget lint-waivers.txt ./...
 	$(GO) vet ./...
 
 test:

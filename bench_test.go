@@ -36,7 +36,7 @@ var benchCfg = exp.Config{Hosts: 500, Scale: 300, Seed: 42}
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Run(id, benchCfg); err != nil {
+		if _, err := exp.Run(context.Background(), id, benchCfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -29,10 +29,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"sbprivacy/internal/core"
@@ -145,17 +148,22 @@ func run() int {
 		return 0
 	}
 
+	// The process edge mints the root context: ^C or SIGTERM cancels it,
+	// and every experiment's transport calls observe the cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := exp.Config{Hosts: *hosts, Scale: *scale, Seed: *seed}
 	var results []*exp.Result
 	if *id == "all" {
 		var err error
-		results, err = exp.RunAll(cfg)
+		results, err = exp.RunAll(ctx, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			return 1
 		}
 	} else {
-		r, err := exp.Run(*id, cfg)
+		r, err := exp.Run(ctx, *id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			return 1

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -17,7 +19,7 @@ func init() {
 // split across requests (by the full-hash cache or by the Section 8
 // one-prefix-at-a-time mitigation) are reassembled per cookie and
 // re-identified offline.
-func runAggregation(cfg Config) (*Result, error) {
+func runAggregation(ctx context.Context, cfg Config) (*Result, error) {
 	index := core.NewIndex([]string{
 		"petsymposium.org/",
 		"petsymposium.org/2016/",

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 
 	"sbprivacy/internal/ballsbins"
@@ -38,7 +40,7 @@ var paperTable5Domains = map[int][3]string{
 	96: {"1", "1", "1"},
 }
 
-func runTable5(cfg Config) (*Result, error) {
+func runTable5(ctx context.Context, cfg Config) (*Result, error) {
 	urls, domains, err := ballsbins.Table5()
 	if err != nil {
 		return nil, err
@@ -72,7 +74,7 @@ func runTable5(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runTable6(cfg Config) (*Result, error) {
+func runTable6(ctx context.Context, cfg Config) (*Result, error) {
 	target, err := urlx.Decompose("http://a.b.c/")
 	if err != nil {
 		return nil, err
@@ -98,7 +100,7 @@ func runTable6(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runTable7(cfg Config) (*Result, error) {
+func runTable7(ctx context.Context, cfg Config) (*Result, error) {
 	index := core.NewIndex([]string{"a.b.c/1", "a.b.c/", "b.c/1", "b.c/"})
 	pA := hashx.SumPrefix("a.b.c/1")
 	pB := hashx.SumPrefix("a.b.c/")
@@ -149,7 +151,7 @@ func buildCorpora(cfg Config) (*corpus.Corpus, *corpus.Corpus, error) {
 	return alexa, random, nil
 }
 
-func runTable8(cfg Config) (*Result, error) {
+func runTable8(ctx context.Context, cfg Config) (*Result, error) {
 	alexa, random, err := buildCorpora(cfg)
 	if err != nil {
 		return nil, err
@@ -170,7 +172,7 @@ func runTable8(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runFigure5(cfg Config) (*Result, error) {
+func runFigure5(ctx context.Context, cfg Config) (*Result, error) {
 	alexa, random, err := buildCorpora(cfg)
 	if err != nil {
 		return nil, err
@@ -215,7 +217,7 @@ func runFigure5(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runFigure6(cfg Config) (*Result, error) {
+func runFigure6(ctx context.Context, cfg Config) (*Result, error) {
 	alexa, random, err := buildCorpora(cfg)
 	if err != nil {
 		return nil, err
@@ -250,7 +252,7 @@ func runFigure6(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runPowerLaw(cfg Config) (*Result, error) {
+func runPowerLaw(ctx context.Context, cfg Config) (*Result, error) {
 	// Pure power-law population: the estimator recovers the generating
 	// exponent, which is the paper's headline fit.
 	pure, err := corpus.Generate(corpus.Config{
@@ -295,7 +297,7 @@ func runPowerLaw(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runAlgorithm1(cfg Config) (*Result, error) {
+func runAlgorithm1(ctx context.Context, cfg Config) (*Result, error) {
 	index := core.NewIndex([]string{
 		"petsymposium.org/",
 		"petsymposium.org/2016/",

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 
 	"sbprivacy/internal/blacklist"
@@ -18,7 +20,7 @@ func init() {
 	registry["mitigation"] = runMitigation
 }
 
-func runTable9(cfg Config) (*Result, error) {
+func runTable9(ctx context.Context, cfg Config) (*Result, error) {
 	u, err := blacklist.BuildUniverse(blacklist.UniverseConfig{
 		Provider: blacklist.Yandex, Scale: cfg.Scale, Seed: cfg.Seed,
 	})
@@ -37,7 +39,7 @@ func runTable9(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runTable10(cfg Config) (*Result, error) {
+func runTable10(ctx context.Context, cfg Config) (*Result, error) {
 	t := newTable()
 	t.row("list", "dataset", "matches", "rate", "paper rate")
 	for _, provider := range []blacklist.Provider{blacklist.Google, blacklist.Yandex} {
@@ -73,7 +75,7 @@ func runTable10(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runTable11(cfg Config) (*Result, error) {
+func runTable11(ctx context.Context, cfg Config) (*Result, error) {
 	t := newTable()
 	t.row("list", "0 hash", "1 hash", "2 hashes", "total", "orphan rate", "paper orphans")
 	for _, provider := range []blacklist.Provider{blacklist.Google, blacklist.Yandex} {
@@ -104,7 +106,7 @@ func runTable11(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runTable12(cfg Config) (*Result, error) {
+func runTable12(ctx context.Context, cfg Config) (*Result, error) {
 	u, err := blacklist.BuildUniverse(blacklist.UniverseConfig{
 		Provider: blacklist.Yandex, Scale: cfg.Scale, Seed: cfg.Seed,
 	})
@@ -137,7 +139,7 @@ func runTable12(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runMitigation(cfg Config) (*Result, error) {
+func runMitigation(ctx context.Context, cfg Config) (*Result, error) {
 	// An index over a small synthetic world quantifies k-anonymity.
 	index := core.NewIndex([]string{
 		"fr.xhamster.com/user/video", "fr.xhamster.com/", "xhamster.com/",

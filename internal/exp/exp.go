@@ -9,6 +9,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"text/tabwriter"
@@ -48,8 +49,11 @@ type Result struct {
 	Text  string
 }
 
-// Runner produces one experiment result.
-type Runner func(Config) (*Result, error)
+// Runner produces one experiment result. The ctx bounds the whole run:
+// experiments that talk to an in-process server pass it through to every
+// transport call, so a cancelled caller (^C in cmd/experiments) stops
+// the run instead of orphaning it.
+type Runner func(context.Context, Config) (*Result, error)
 
 // registry maps experiment id to runner; populated by the runner files.
 var registry = map[string]Runner{}
@@ -64,20 +68,24 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by id.
-func Run(id string, cfg Config) (*Result, error) {
+// Run executes one experiment by id under ctx.
+func Run(ctx context.Context, id string, cfg Config) (*Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return r(cfg.withDefaults())
+	return r(ctx, cfg.withDefaults())
 }
 
-// RunAll executes every experiment in id order.
-func RunAll(cfg Config) ([]*Result, error) {
+// RunAll executes every experiment in id order, stopping at the first
+// failure or when ctx is cancelled.
+func RunAll(ctx context.Context, cfg Config) ([]*Result, error) {
 	var out []*Result
 	for _, id := range IDs() {
-		r, err := Run(id, cfg)
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("exp: %s: %w", id, err)
+		}
+		r, err := Run(ctx, id, cfg)
 		if err != nil {
 			return out, fmt.Errorf("exp: %s: %w", id, err)
 		}

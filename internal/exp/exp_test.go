@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ var quick = Config{Hosts: 300, Scale: 400, Seed: 9}
 // a non-trivial table.
 func TestAllExperimentsRun(t *testing.T) {
 	t.Parallel()
-	results, err := RunAll(quick)
+	results, err := RunAll(context.Background(), quick)
 	if err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
@@ -30,7 +31,7 @@ func TestAllExperimentsRun(t *testing.T) {
 
 func TestRunUnknownID(t *testing.T) {
 	t.Parallel()
-	if _, err := Run("nonsense", quick); err == nil {
+	if _, err := Run(context.Background(), "nonsense", quick); err == nil {
 		t.Error("unknown id: want error")
 	}
 }
@@ -58,7 +59,7 @@ func TestIDsComplete(t *testing.T) {
 // pinned prefixes.
 func TestTable4GroundTruth(t *testing.T) {
 	t.Parallel()
-	r, err := Run("table4", quick)
+	r, err := Run(context.Background(), "table4", quick)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -73,7 +74,7 @@ func TestTable4GroundTruth(t *testing.T) {
 // the 7541 and 14757 cells.
 func TestTable5ContainsCalibratedCells(t *testing.T) {
 	t.Parallel()
-	r, err := Run("table5", quick)
+	r, err := Run(context.Background(), "table5", quick)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -87,7 +88,7 @@ func TestTable5ContainsCalibratedCells(t *testing.T) {
 // TestTable12FindsPaperURLs: the scan recovers the Yandex rows.
 func TestTable12FindsPaperURLs(t *testing.T) {
 	t.Parallel()
-	r, err := Run("table12", quick)
+	r, err := Run(context.Background(), "table12", quick)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -111,7 +112,7 @@ func TestConfigDefaults(t *testing.T) {
 // all four URLs; v3 reveals one prefix.
 func TestLookupAPIExperimentQuantifiesExposure(t *testing.T) {
 	t.Parallel()
-	r, err := Run("lookupapi", quick)
+	r, err := Run(context.Background(), "lookupapi", quick)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -126,7 +127,7 @@ func TestLookupAPIExperimentQuantifiesExposure(t *testing.T) {
 // are re-identified; the quiet single-prefix client is not.
 func TestAggregationExperimentConclusions(t *testing.T) {
 	t.Parallel()
-	r, err := Run("aggregation", quick)
+	r, err := Run(context.Background(), "aggregation", quick)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

@@ -16,7 +16,7 @@ func init() {
 // runLookupAPI contrasts the deprecated plaintext Lookup API with the v3
 // prefix protocol on an identical browsing session: the quantitative
 // form of the paper's Section 2.2 motivation for the redesign.
-func runLookupAPI(cfg Config) (*Result, error) {
+func runLookupAPI(ctx context.Context, cfg Config) (*Result, error) {
 	srv := sbserver.New()
 	const list = "goog-malware-shavar"
 	if err := srv.CreateList(list, "malware"); err != nil {
@@ -36,7 +36,7 @@ func runLookupAPI(cfg Config) (*Result, error) {
 	// Deprecated API: every URL goes to the provider in clear.
 	lookup := lookupapi.NewServer(srv, []string{list})
 	lookupClient := &lookupapi.Client{Direct: lookup, ClientID: "user"}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
 	if _, err := lookupClient.Check(ctx, browsing...); err != nil {
 		return nil, err

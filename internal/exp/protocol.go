@@ -45,11 +45,11 @@ func runInventory(id, title string, provider blacklist.Provider, cfg Config) (*R
 	return &Result{ID: id, Title: title, Text: t.String()}, nil
 }
 
-func runTable1(cfg Config) (*Result, error) {
+func runTable1(ctx context.Context, cfg Config) (*Result, error) {
 	return runInventory("table1", "Table 1: lists provided by the Google Safe Browsing API", blacklist.Google, cfg)
 }
 
-func runTable3(cfg Config) (*Result, error) {
+func runTable3(ctx context.Context, cfg Config) (*Result, error) {
 	return runInventory("table3", "Table 3: Yandex blacklists", blacklist.Yandex, cfg)
 }
 
@@ -57,7 +57,7 @@ func runTable3(cfg Config) (*Result, error) {
 // malware + phishing lists (317,807 + 312,621).
 const table2Prefixes = 630428
 
-func runTable2(cfg Config) (*Result, error) {
+func runTable2(ctx context.Context, cfg Config) (*Result, error) {
 	// Digest-derived prefixes at every width, like a real client DB.
 	widths := []int{4, 8, 10, 16, 32} // bytes: 32..256 bits
 	n := table2Prefixes
@@ -115,7 +115,7 @@ func runTable2(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runTable4(cfg Config) (*Result, error) {
+func runTable4(ctx context.Context, cfg Config) (*Result, error) {
 	decomps, err := urlx.Decompose("https://petsymposium.org/2016/cfp.php")
 	if err != nil {
 		return nil, err
@@ -136,7 +136,7 @@ func runTable4(cfg Config) (*Result, error) {
 
 // runFigure3 walks the client behaviour flow chart end to end: miss,
 // confirmed hit, and false-positive hit, reporting what each path leaks.
-func runFigure3(cfg Config) (*Result, error) {
+func runFigure3(ctx context.Context, cfg Config) (*Result, error) {
 	srv := sbserver.New()
 	if err := srv.CreateList("goog-malware-shavar", "malware"); err != nil {
 		return nil, err
@@ -154,7 +154,7 @@ func runFigure3(cfg Config) (*Result, error) {
 
 	client := sbclient.New(sbclient.LocalTransport{Server: srv},
 		[]string{"goog-malware-shavar"}, sbclient.WithCookie("figure3-client"))
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
 	if err := client.Update(ctx, true); err != nil {
 		return nil, err

@@ -221,7 +221,9 @@ func Run(ctx context.Context, cfg Config) (rep *Report, err error) {
 
 	// Drain in order: stop the listener (no new requests), then flush
 	// the probe pipeline so the stats below are complete.
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Detached on purpose: the caller's ctx may already be cancelled at
+	// drain time, and shutdown must still complete to flush the stats.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second) //sbcheck:ignore ctxflow shutdown must outlive an already-cancelled run ctx to drain the server cleanly
 	defer cancel()
 	if serr := httpSrv.Shutdown(shutdownCtx); serr != nil {
 		return nil, fmt.Errorf("loadrig: server shutdown: %w", serr)

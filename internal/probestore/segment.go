@@ -205,7 +205,7 @@ func (s *Store) recover() error {
 		// with tighter limits must not wait for the next rotation (which
 		// a quiet server may never reach) to enforce them.
 		s.mu.Lock()
-		s.pruneLocked()
+		s.pruneLocked() //sbcheck:ignore lockscope single-writer store contract: retention unlinks segments under s.mu so no reader can map an evicted file
 		s.mu.Unlock()
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/prefixdb"
 )
 
 // State-file framing: magic, version, then per-list records. Real Safe
@@ -27,8 +28,25 @@ var ErrBadStateFile = errors.New("sbclient: bad state file")
 // in minutes, and persisting them would only widen the window in which
 // stale verdicts survive.
 func (c *Client) SaveState(w io.Writer) error {
+	// Snapshot under the lock, serialize outside it: w may be a file or
+	// a socket, and holding c.mu across its writes would stall every
+	// concurrent lookup on the caller's disk (lockscope).
+	type listSnapshot struct {
+		name      string
+		lastChunk uint32
+		prefixes  []hashx.Prefix
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	snaps := make([]listSnapshot, 0, len(c.listOrder))
+	for _, name := range c.listOrder {
+		ls := c.lists[name]
+		snaps = append(snaps, listSnapshot{
+			name:      name,
+			lastChunk: ls.lastChunk,
+			prefixes:  snapshotStore(ls.store),
+		})
+	}
+	c.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
 	var scratch [binary.MaxVarintLen64]byte
@@ -44,25 +62,23 @@ func (c *Client) SaveState(w io.Writer) error {
 	if err := bw.WriteByte(stateVersion); err != nil {
 		return err
 	}
-	if err := writeUvarint(uint64(len(c.listOrder))); err != nil {
+	if err := writeUvarint(uint64(len(snaps))); err != nil {
 		return err
 	}
-	for _, name := range c.listOrder {
-		ls := c.lists[name]
-		if err := writeUvarint(uint64(len(name))); err != nil {
+	for _, snap := range snaps {
+		if err := writeUvarint(uint64(len(snap.name))); err != nil {
 			return err
 		}
-		if _, err := bw.WriteString(name); err != nil {
+		if _, err := bw.WriteString(snap.name); err != nil {
 			return err
 		}
-		if err := writeUvarint(uint64(ls.lastChunk)); err != nil {
+		if err := writeUvarint(uint64(snap.lastChunk)); err != nil {
 			return err
 		}
-		prefixes := snapshotStore(ls.store)
-		if err := writeUvarint(uint64(len(prefixes))); err != nil {
+		if err := writeUvarint(uint64(len(snap.prefixes))); err != nil {
 			return err
 		}
-		for _, p := range prefixes {
+		for _, p := range snap.prefixes {
 			b := p.Bytes()
 			if _, err := bw.Write(b[:]); err != nil {
 				return err
@@ -148,6 +164,17 @@ func (c *Client) LoadState(r io.Reader) error {
 		parsed[string(nameBuf)] = loaded{lastChunk: uint32(lastChunk), prefixes: prefixes}
 	}
 
+	// Build the replacement stores before taking the lock: c.newStore is
+	// a caller callback and Apply rebuilds delta tables, neither of which
+	// belongs inside the mutex (lockscope). Stores built for lists the
+	// client no longer syncs are discarded below.
+	stores := make(map[string]prefixdb.Updatable, len(parsed))
+	for name, data := range parsed {
+		fresh := c.newStore()
+		fresh.Apply(data.prefixes, nil)
+		stores[name] = fresh
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for name, data := range parsed {
@@ -155,9 +182,7 @@ func (c *Client) LoadState(r io.Reader) error {
 		if !ok {
 			continue // list no longer synced
 		}
-		fresh := c.newStore()
-		fresh.Apply(data.prefixes, nil)
-		ls.store = fresh
+		ls.store = stores[name]
 		ls.lastChunk = data.lastChunk
 	}
 	c.cache = make(map[hashx.Prefix]cacheEntry)

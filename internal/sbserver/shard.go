@@ -47,6 +47,7 @@ func newStripedIndex() *stripedIndex {
 	return x
 }
 
+//sbcheck:hotpath
 func (x *stripedIndex) shard(p hashx.Prefix) *indexShard {
 	return &x.shards[uint32(p)&(numShards-1)]
 }
@@ -89,7 +90,11 @@ func (x *stripedIndex) remove(p hashx.Prefix, rank uint32, d hashx.Digest) {
 
 // lookup appends the full-hash entries matching p to dst and returns the
 // extended slice. Orphan prefixes have no index entries and append
-// nothing — the client hears only silence for them.
+// nothing — the client hears only silence for them. With a dst whose
+// capacity covers the matches, a lookup performs zero allocations
+// (TestShardLookupAllocs gates this).
+//
+//sbcheck:hotpath
 func (x *stripedIndex) lookup(p hashx.Prefix, dst []wire.FullHashEntry) []wire.FullHashEntry {
 	sh := x.shard(p)
 	sh.mu.RLock()

@@ -1,0 +1,42 @@
+package sbserver
+
+import (
+	"testing"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/wire"
+)
+
+// TestShardLookupAllocs is the runtime half of the hotalloc gate on the
+// serving index: with a caller-provided dst of sufficient capacity, a
+// shard lookup must not allocate at all. The //sbcheck:hotpath marker on
+// shard/lookup keeps allocation-causing constructs out statically; this
+// test proves the resulting count. Gate: 0 allocs/op (the measured
+// count at the time the gate landed — it must never grow).
+func TestShardLookupAllocs(t *testing.T) {
+	x := newStripedIndex()
+	hit := hashx.Sum("evil.example/")
+	miss := hashx.Sum("clean.example/")
+	for i := 0; i < 4; i++ {
+		d := hit
+		d[31] ^= byte(i)
+		x.add(hit.Prefix(), indexEntry{rank: uint32(i), list: "goog-malware-shavar", digest: d})
+	}
+
+	dst := make([]wire.FullHashEntry, 0, 16)
+	for name, p := range map[string]hashx.Prefix{
+		"hit":  hit.Prefix(),
+		"miss": miss.Prefix(),
+	} {
+		p := p
+		allocs := testing.AllocsPerRun(1000, func() {
+			dst = x.lookup(p, dst[:0])
+		})
+		if allocs != 0 {
+			t.Errorf("lookup(%s): %v allocs/op, want 0", name, allocs)
+		}
+	}
+	if dst = x.lookup(hit.Prefix(), dst[:0]); len(dst) != 4 {
+		t.Fatalf("lookup returned %d entries, want 4", len(dst))
+	}
+}

@@ -165,10 +165,22 @@ type FullHashBatchResponse struct {
 type writer struct {
 	w   io.Writer
 	err error
+	// scratch backs the fixed-size fields (header, uvarint, prefix).
+	// Slicing a struct field into the w.Write interface call does not
+	// escape the way a local array does, so the per-field encodes stay
+	// allocation-free (see TestWireHotPathAllocs).
+	scratch [binary.MaxVarintLen64]byte
 }
 
-func (e *writer) header(t MsgType) { e.bytes([]byte{Magic, Version, byte(t)}) }
+//sbcheck:hotpath
+func (e *writer) header(t MsgType) {
+	e.scratch[0] = Magic
+	e.scratch[1] = Version
+	e.scratch[2] = byte(t)
+	e.bytes(e.scratch[:3])
+}
 
+//sbcheck:hotpath
 func (e *writer) bytes(b []byte) {
 	if e.err != nil {
 		return
@@ -176,10 +188,10 @@ func (e *writer) bytes(b []byte) {
 	_, e.err = e.w.Write(b)
 }
 
+//sbcheck:hotpath
 func (e *writer) uvarint(v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	e.bytes(buf[:n])
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.bytes(e.scratch[:n])
 }
 
 func (e *writer) str(s string) {
@@ -187,28 +199,34 @@ func (e *writer) str(s string) {
 	e.bytes([]byte(s))
 }
 
+//sbcheck:hotpath
 func (e *writer) prefix(p hashx.Prefix) {
 	b := p.Bytes()
-	e.bytes(b[:])
+	n := copy(e.scratch[:], b[:])
+	e.bytes(e.scratch[:n])
 }
 
 type reader struct {
 	r *bufio.Reader
+	// scratch backs the fixed-size reads (header, prefix, digest); a
+	// struct field sliced into io.ReadFull does not escape the way a
+	// local array does, keeping the per-record decodes allocation-free
+	// (see TestWireHotPathAllocs). Sized for the largest fixed field.
+	scratch [hashx.DigestSize]byte
 }
 
 func (d *reader) header(want MsgType) error {
-	var h [3]byte
-	if _, err := io.ReadFull(d.r, h[:]); err != nil {
+	if _, err := io.ReadFull(d.r, d.scratch[:3]); err != nil {
 		return fmt.Errorf("wire: read header: %w", err)
 	}
-	if h[0] != Magic {
+	if d.scratch[0] != Magic {
 		return ErrBadMagic
 	}
-	if h[1] != Version {
-		return fmt.Errorf("%w: %d", ErrBadVersion, h[1])
+	if d.scratch[1] != Version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, d.scratch[1])
 	}
-	if MsgType(h[2]) != want {
-		return fmt.Errorf("%w: got %d, want %d", ErrBadType, h[2], want)
+	if MsgType(d.scratch[2]) != want {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadType, d.scratch[2], want)
 	}
 	return nil
 }
@@ -236,19 +254,21 @@ func (d *reader) str(what string) (string, error) {
 	return string(buf), nil
 }
 
+//sbcheck:hotpath
 func (d *reader) prefix() (hashx.Prefix, error) {
-	var b [hashx.PrefixSize]byte
-	if _, err := io.ReadFull(d.r, b[:]); err != nil {
-		return 0, fmt.Errorf("wire: read prefix: %w", err)
+	if _, err := io.ReadFull(d.r, d.scratch[:hashx.PrefixSize]); err != nil {
+		return 0, fmt.Errorf("wire: read prefix: %w", err) //sbcheck:ignore hotalloc cold path: runs once per torn stream, not per record
 	}
-	return hashx.PrefixFromBytes(b[:])
+	return hashx.PrefixFromBytes(d.scratch[:hashx.PrefixSize])
 }
 
+//sbcheck:hotpath
 func (d *reader) digest() (hashx.Digest, error) {
 	var dg hashx.Digest
-	if _, err := io.ReadFull(d.r, dg[:]); err != nil {
-		return dg, fmt.Errorf("wire: read digest: %w", err)
+	if _, err := io.ReadFull(d.r, d.scratch[:hashx.DigestSize]); err != nil {
+		return dg, fmt.Errorf("wire: read digest: %w", err) //sbcheck:ignore hotalloc cold path: runs once per torn stream, not per record
 	}
+	copy(dg[:], d.scratch[:])
 	return dg, nil
 }
 

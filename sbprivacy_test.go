@@ -73,7 +73,7 @@ func TestPublicAPIExperiments(t *testing.T) {
 	if len(sbprivacy.ExperimentIDs()) < 15 {
 		t.Fatalf("ExperimentIDs = %v", sbprivacy.ExperimentIDs())
 	}
-	r, err := sbprivacy.RunExperiment("table4", sbprivacy.ExperimentConfig{Hosts: 100, Scale: 1000, Seed: 1})
+	r, err := sbprivacy.RunExperiment(context.Background(), "table4", sbprivacy.ExperimentConfig{Hosts: 100, Scale: 1000, Seed: 1})
 	if err != nil {
 		t.Fatalf("RunExperiment: %v", err)
 	}

@@ -6,13 +6,22 @@
 //   - maporder: no order-dependent output built while ranging over a
 //     map in deterministic packages;
 //   - flusherr: Flush/Close errors from the probe pipeline types are
-//     never discarded, anywhere in the module.
+//     never discarded, anywhere in the module;
+//   - lockscope: no blocking operations while a sync mutex is held in
+//     the concurrent core packages;
+//   - goexit: every go statement in long-lived packages has a visible
+//     stop path;
+//   - ctxflow: context.Background/TODO only at process edges;
+//   - hotalloc: no allocation-causing constructs in hotpath-marked
+//     functions.
 //
-// The first three are scoped to packages carrying the
-// "//sbcheck:deterministic" marker and skip _test.go files; flusherr
-// runs over every package including tests. See each analyzer's Doc for
-// the precise rule and docs/ARCHITECTURE.md ("Enforced invariants") for
-// the rationale.
+// The determinism trio is scoped to packages carrying the
+// "//sbcheck:deterministic" marker and skips _test.go files; flusherr
+// runs over every package including tests; lockscope covers the
+// concurrent core packages; goexit and ctxflow cover every non-main
+// package; hotalloc covers //sbcheck:hotpath-marked functions. See each
+// analyzer's Doc for the precise rule and docs/ARCHITECTURE.md
+// ("Enforced invariants") for the rationale.
 package analyzers
 
 import (
@@ -24,7 +33,7 @@ import (
 
 // All returns the full analyzer suite in reporting order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Detclock, Detrand, Maporder, Flusherr}
+	return []*analysis.Analyzer{Detclock, Detrand, Maporder, Flusherr, Lockscope, Goexit, Ctxflow, Hotalloc}
 }
 
 // Known returns the analyzer-name set, used to validate

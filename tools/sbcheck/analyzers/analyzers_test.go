@@ -45,6 +45,38 @@ func TestFlusherrClean(t *testing.T) {
 	sbchecktest.Run(t, analyzers.Flusherr, fixtures+"flusherr_ok")
 }
 
+func TestLockscope(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Lockscope, fixtures+"lockscope/sbserver")
+}
+
+func TestLockscopeClean(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Lockscope, fixtures+"lockscope_ok/core")
+}
+
+func TestGoexit(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Goexit, fixtures+"goexit")
+}
+
+func TestGoexitClean(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Goexit, fixtures+"goexit_ok")
+}
+
+func TestCtxflow(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Ctxflow, fixtures+"ctxflow")
+}
+
+func TestCtxflowClean(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Ctxflow, fixtures+"ctxflow_ok")
+}
+
+func TestHotalloc(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Hotalloc, fixtures+"hotalloc")
+}
+
+func TestHotallocClean(t *testing.T) {
+	sbchecktest.Run(t, analyzers.Hotalloc, fixtures+"hotalloc_ok")
+}
+
 // TestIgnoreValidation proves the suppression machinery end to end:
 // justified ignores waive, an ignore without a reason is itself a
 // diagnostic and waives nothing, and unknown analyzer names are caught.

@@ -1,0 +1,46 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"sbprivacy/tools/sbcheck/analysis"
+)
+
+// Ctxflow confines context.Background/TODO to process edges.
+var Ctxflow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "Forbids context.Background() and context.TODO() outside process " +
+		"edges (package main and _test.go files). Library code must accept " +
+		"and propagate its caller's ctx; a context minted mid-stack detaches " +
+		"the work below it from the caller's cancellation and deadline, so " +
+		"shutdown (signal-bound ctx in cmd/*) silently stops propagating. " +
+		"Rare legitimate detachments (a shutdown path that must outlive an " +
+		"already-cancelled parent) carry a sbcheck:ignore waiver.",
+	Run:           runCtxflow,
+	SkipTestFiles: true,
+}
+
+func runCtxflow(p *analysis.Pass) error {
+	if p.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := selectorOn(p.TypesInfo, sel, "context")
+			if !ok || (name != "Background" && name != "TODO") {
+				return true
+			}
+			p.Reportf(call.Pos(), "context.%s in library code detaches callees from the caller's cancellation; accept a ctx parameter instead (Background/TODO belong at process edges: cmd/*, main, tests)", name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sbprivacy/tools/sbcheck/analysis"
+)
+
+// Goexit requires a visible stop path on every go statement.
+var Goexit = &analysis.Analyzer{
+	Name: "goexit",
+	Doc: "Requires every go statement in long-lived (non-main) packages to " +
+		"have a visible stop path: the goroutine's body (or the same-package " +
+		"function it calls) must reference a context.Context, receive from a " +
+		"channel (directly, via range, or via select), send a result on a " +
+		"channel, or signal a sync.WaitGroup — otherwise nothing " +
+		"analyzer-visible ever stops it " +
+		"and it leaks past shutdown, skewing every latency quantile the rig " +
+		"measures afterwards. When the callee is not resolvable in the same " +
+		"package, passing a ctx, channel or *sync.WaitGroup argument counts.",
+	Run:           runGoexit,
+	SkipTestFiles: true,
+}
+
+func runGoexit(p *analysis.Pass) error {
+	if p.Pkg.Name() == "main" {
+		return nil
+	}
+	decls := packageFuncDecls(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goHasStopPath(p.TypesInfo, decls, g.Call) {
+				p.Reportf(g.Pos(), "go statement has no visible stop path (ctx parameter, channel receive/select, or WaitGroup) in the goroutine body; a goroutine nothing can stop leaks past shutdown")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls indexes this package's function declarations by their
+// types.Func object, so a "go p.run(...)" statement can be judged by the
+// body of run.
+func packageFuncDecls(p *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// goHasStopPath reports whether the spawned call has a visible stop path:
+// the resolved body contains one, or — when the callee's body is outside
+// the package — an argument carries the stop signal.
+func goHasStopPath(info *types.Info, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return hasStopPath(info, fun.Body)
+	default:
+		var obj types.Object
+		switch fe := fun.(type) {
+		case *ast.Ident:
+			obj = info.Uses[fe]
+		case *ast.SelectorExpr:
+			obj = info.Uses[fe.Sel]
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			if fd, ok := decls[fn]; ok && fd.Body != nil {
+				return hasStopPath(info, fd.Body)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if t := info.TypeOf(arg); t != nil && isStopCarrier(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasStopPath reports whether body contains a recognized stop construct.
+func hasStopPath(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.SendStmt:
+			// A result-delivery send is a rendezvous with the receiver:
+			// the goroutine visibly ends by handing its value over.
+			found = true
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if t := info.TypeOf(n); t != nil && isContextType(t) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+					(fn.Name() == "Done" || fn.Name() == "Wait") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStopCarrier reports whether t can carry a stop signal into an
+// unresolvable callee: a context, a channel, or a *sync.WaitGroup.
+func isStopCarrier(t types.Type) bool {
+	if isContextType(t) {
+		return true
+	}
+	u := types.Unalias(t).Underlying()
+	if _, ok := u.(*types.Chan); ok {
+		return true
+	}
+	if ptr, ok := u.(*types.Pointer); ok {
+		if named, ok := types.Unalias(ptr.Elem()).(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

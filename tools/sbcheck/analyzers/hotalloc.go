@@ -1,0 +1,299 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sbprivacy/tools/sbcheck/analysis"
+)
+
+// HotpathMarker is the doc-comment directive that opts a function into
+// the hotalloc allocation budget.
+const HotpathMarker = "//sbcheck:hotpath"
+
+// Hotalloc enforces the allocation budget on hotpath-marked functions.
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "Rejects allocation-causing constructs inside functions marked " +
+		"with a //sbcheck:hotpath doc-comment directive (the gethash serve " +
+		"path: shard lookup, wire prefix encode/decode): fmt calls, " +
+		"string<->[]byte conversions, string concatenation, unsized make, " +
+		"slice/map composite literals, append to anything but a " +
+		"caller-provided slice, closures capturing outer variables, and " +
+		"interface boxing of non-pointer values at call sites. The static " +
+		"gate pairs the testing.AllocsPerRun gates: the analyzer names the " +
+		"construct, the runtime test proves the count. Waive a deliberate " +
+		"allocation with sbcheck:ignore hotalloc <reason>.",
+	Run:           runHotalloc,
+	SkipTestFiles: true,
+}
+
+// HotpathFuncs returns the hotpath-marked function declarations in
+// files, in source order. Shared by the analyzer and the driver's
+// -list mode.
+func HotpathFuncs(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if c.Text == HotpathMarker {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HotpathName renders a marked declaration as pkgless receiver.name for
+// listings.
+func HotpathName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		return "(" + types.ExprString(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func runHotalloc(p *analysis.Pass) error {
+	for _, fd := range HotpathFuncs(p.Files) {
+		if fd.Body == nil {
+			continue
+		}
+		params := paramObjects(p.TypesInfo, fd)
+		checkHotBody(p, fd, params)
+	}
+	return nil
+}
+
+// paramObjects collects the objects bound to fd's parameters and
+// receiver: slices reachable from these are caller-managed, so
+// appending to them is amortized by the caller's buffer reuse.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	if fd.Type.Params != nil {
+		add(fd.Type.Params)
+	}
+	return out
+}
+
+func checkHotBody(p *analysis.Pass, fd *ast.FuncDecl, params map[types.Object]bool) {
+	info := p.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				p.Reportf(n.Pos(), "string concatenation allocates on the hot path")
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch types.Unalias(t).Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates on the hot path; use a fixed-size array or a caller-provided buffer")
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates on the hot path")
+			}
+		case *ast.FuncLit:
+			if captured := capturedVars(info, fd, n); len(captured) > 0 {
+				p.Reportf(n.Pos(), "closure captures %s; captured closures escape to the heap on the hot path", captured[0])
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, n, params)
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *analysis.Pass, call *ast.CallExpr, params map[types.Object]bool) {
+	info := p.TypesInfo
+	// Conversions: flag the two string<->[]byte directions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, info.TypeOf(call.Args[0])
+		if (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from)) {
+			p.Reportf(call.Pos(), "string<->[]byte conversion copies and allocates on the hot path")
+		}
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch info.Uses[fun].(type) {
+		case *types.Builtin:
+			checkHotBuiltin(p, fun.Name, call, params)
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			p.Reportf(call.Pos(), "fmt.%s allocates (formatting, interface boxing) on the hot path", fn.Name())
+			return
+		}
+	}
+	// Interface boxing: a concrete non-pointer-shaped argument passed
+	// where the callee expects an interface is boxed, which may
+	// allocate.
+	sig, ok := types.Unalias(info.TypeOf(call.Fun)).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			break
+		}
+		if _, ok := types.Unalias(pt).Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isUntypedNil(at) || boxesWithoutAlloc(at) {
+			continue
+		}
+		if _, isIface := types.Unalias(at).Underlying().(*types.Interface); isIface {
+			continue
+		}
+		p.Reportf(arg.Pos(), "passing %s as %s boxes the value into an interface, which may allocate on the hot path", types.TypeString(at, types.RelativeTo(p.Pkg)), types.TypeString(pt, types.RelativeTo(p.Pkg)))
+	}
+}
+
+func checkHotBuiltin(p *analysis.Pass, name string, call *ast.CallExpr, params map[types.Object]bool) {
+	switch name {
+	case "make":
+		// make with only a type argument has no size hint: maps and
+		// channels start at a default capacity and grow by
+		// reallocating. Sized makes still allocate once, which the
+		// AllocsPerRun gate judges; the static rule is about unsized
+		// growth.
+		if len(call.Args) == 1 {
+			p.Reportf(call.Pos(), "unsized make allocates and grows on the hot path; preallocate with a capacity")
+		}
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		if obj := rootObject(p.TypesInfo, call.Args[0]); obj != nil && params[obj] {
+			return // caller-provided buffer: amortized by the caller
+		}
+		p.Reportf(call.Pos(), "append to a slice the caller does not manage may reallocate on the hot path; take a dst parameter instead")
+	}
+}
+
+// paramTypeAt resolves the declared type of argument i, unrolling the
+// variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if sl, ok := types.Unalias(last).Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// capturedVars lists outer-function variables referenced inside lit.
+func capturedVars(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	var out []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		// Captured iff declared outside the literal but inside the
+		// enclosing function.
+		if obj.Pos() > fd.Pos() && obj.Pos() < fd.End() && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+			seen[obj] = true
+			out = append(out, obj.Name())
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject unwraps selectors, indexes and slices to the base
+// identifier's object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(sl.Elem()).Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := types.Unalias(t).(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// boxesWithoutAlloc reports whether values of t fit an interface word
+// directly: pointer-shaped values are stored without allocating.
+func boxesWithoutAlloc(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,520 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sbprivacy/tools/sbcheck/analysis"
+)
+
+// lockscopePkgs are the final import-path elements of the packages whose
+// mutex critical sections are on (or adjacent to) the serving hot path:
+// a blocking operation inside one stalls every goroutine contending for
+// that lock and skews the latency quantiles the rig measures.
+var lockscopePkgs = map[string]bool{
+	"sbserver":   true,
+	"probestore": true,
+	"sbclient":   true,
+	"core":       true,
+}
+
+// lockscopeMethods are method names that (on a type from another
+// package, or through an interface) are assumed to block: I/O barriers,
+// shutdown paths, and sink/observer fan-out.
+var lockscopeMethods = map[string]bool{
+	"Flush": true, "Close": true, "Sync": true,
+	"Write": true, "Read": true, "ReadFrom": true, "WriteTo": true,
+	"WriteString": true, "ReadString": true, "ReadBytes": true,
+	"Encode": true, "Decode": true,
+	"Do": true, "Serve": true, "Shutdown": true,
+	"Wait": true, "Observe": true,
+}
+
+// lockscopeIOPkgs are packages whose top-level functions are assumed to
+// perform (potentially blocking) I/O.
+var lockscopeIOPkgs = map[string]bool{
+	"net": true, "net/http": true, "os": true, "io": true, "bufio": true,
+}
+
+// lockscopeIOAllow are pure predicate/accessor functions inside
+// lockscopeIOPkgs that never block.
+var lockscopeIOAllow = map[string]bool{
+	"os.IsNotExist": true, "os.IsExist": true, "os.IsPermission": true,
+	"os.IsTimeout": true, "os.Getenv": true, "os.Getpid": true,
+	"io.NopCloser": true,
+}
+
+// Lockscope forbids blocking operations while a mutex is held.
+var Lockscope = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: "Forbids blocking operations — channel send/receive, select " +
+		"without a default, network/file I/O, Flush/Close/Sync barriers, " +
+		"sink or callback invocation — while a sync.Mutex or sync.RWMutex " +
+		"is held, in the concurrent core packages (sbserver, probestore, " +
+		"sbclient, core). A blocking call inside a critical section stalls " +
+		"every contender on that lock, and on the sharded serving path one " +
+		"slow sink turns into a fleet-wide latency cliff. Same-package " +
+		"callees are resolved one level deep, so a helper that does I/O is " +
+		"flagged at the call site inside the locked region. Designed " +
+		"single-writer spills and close fences carry a sbcheck:ignore " +
+		"waiver naming the contract.",
+	Run:           runLockscope,
+	SkipTestFiles: true,
+}
+
+func runLockscope(p *analysis.Pass) error {
+	path := p.Pkg.Path()
+	if !lockscopePkgs[path[strings.LastIndex(path, "/")+1:]] {
+		return nil
+	}
+	c := &lockscopeChecker{
+		pass:     p,
+		decls:    packageFuncDecls(p),
+		blocking: map[*types.Func]string{},
+		visiting: map[*types.Func]bool{},
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.scanStmts(fd.Body.List, map[string]token.Pos{})
+			}
+		}
+	}
+	return nil
+}
+
+// lockscopeChecker walks one package. The held map tracks mutex
+// receivers (by expression text) locked on the current path; the walk is
+// a source-order approximation: an early-unlock-and-return branch
+// releases for the remainder of the function, which can only miss
+// findings, never invent them.
+type lockscopeChecker struct {
+	pass     *analysis.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	blocking map[*types.Func]string // memo: same-package callee -> blocking reason ("" = clean)
+	visiting map[*types.Func]bool
+}
+
+func (c *lockscopeChecker) scanStmts(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		c.scanStmt(s, held)
+	}
+}
+
+// scanBranch scans a conditional body. A branch that terminates (ends
+// in return, break, continue or goto) is scanned with a copy of the
+// held set, so its early unlock-and-bail does not release the lock for
+// the code that runs when the branch is not taken.
+func (c *lockscopeChecker) scanBranch(stmts []ast.Stmt, held map[string]token.Pos) {
+	if branchTerminates(stmts) {
+		clone := make(map[string]token.Pos, len(held))
+		for k, v := range held {
+			clone[k] = v
+		}
+		c.scanStmts(stmts, clone)
+		return
+	}
+	c.scanStmts(stmts, held)
+}
+
+// branchTerminates reports whether the statement list cannot fall
+// through to the code after it.
+func branchTerminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *lockscopeChecker) scanStmt(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		c.report(s.Pos(), held, "channel send")
+		c.scanExpr(s.Chan, held)
+		c.scanExpr(s.Value, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() holds the lock to function end: keep it in
+		// the held set. Other deferred calls run at return, when the
+		// locked region (under the defer-unlock idiom) is still open —
+		// but their arguments are evaluated now.
+		if name, key := lockMethod(c.pass.TypesInfo, s.Call); name == "Unlock" || name == "RUnlock" {
+			_ = key // lock stays held through the function body
+			return
+		}
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.scanStmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.GoStmt:
+		// Spawning is not blocking; the goroutine's body runs outside
+		// this critical section.
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.scanStmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, held)
+		}
+	case *ast.IfStmt:
+		c.scanStmt(s.Init, held)
+		c.scanExpr(s.Cond, held)
+		c.scanBranch(s.Body.List, held)
+		if blk, ok := s.Else.(*ast.BlockStmt); ok {
+			c.scanBranch(blk.List, held)
+		} else {
+			c.scanStmt(s.Else, held)
+		}
+	case *ast.ForStmt:
+		c.scanStmt(s.Init, held)
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		c.scanStmt(s.Post, held)
+		c.scanStmts(s.Body.List, held)
+	case *ast.RangeStmt:
+		if t := c.pass.TypesInfo.TypeOf(s.X); t != nil {
+			if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+				c.report(s.Pos(), held, "range over channel")
+			}
+		}
+		c.scanExpr(s.X, held)
+		c.scanStmts(s.Body.List, held)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			c.report(s.Pos(), held, "select without default")
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				// The comm operations themselves were judged by the
+				// select rule (a default makes them non-blocking tries);
+				// still scan their operands and the clause bodies.
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					c.scanExpr(send.Chan, held)
+					c.scanExpr(send.Value, held)
+				}
+				c.scanBranch(cc.Body, held)
+			}
+		}
+	case *ast.SwitchStmt:
+		c.scanStmt(s.Init, held)
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.scanBranch(cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		c.scanStmt(s.Init, held)
+		c.scanStmt(s.Assign, held)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.scanBranch(cc.Body, held)
+			}
+		}
+	case *ast.BlockStmt:
+		c.scanStmts(s.List, held)
+	case *ast.LabeledStmt:
+		c.scanStmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, held)
+	}
+}
+
+func (c *lockscopeChecker) scanExpr(e ast.Expr, held map[string]token.Pos) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		switch name, key := lockMethod(c.pass.TypesInfo, e); name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			held[key] = e.Pos()
+			return
+		case "Unlock", "RUnlock":
+			delete(held, key)
+			return
+		}
+		if len(held) > 0 {
+			if reason := c.blockingCall(e); reason != "" {
+				c.report(e.Pos(), held, reason)
+			}
+		}
+		c.scanExpr(e.Fun, held)
+		for _, a := range e.Args {
+			c.scanExpr(a, held)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			c.report(e.Pos(), held, "channel receive")
+		}
+		c.scanExpr(e.X, held)
+	case *ast.FuncLit:
+		// A literal reached here is either invoked in place (sort.Slice
+		// comparators and the like) or built inside the critical
+		// section; both run — or are poised to run — under the lock.
+		c.scanStmts(e.Body.List, held)
+	case *ast.BinaryExpr:
+		c.scanExpr(e.X, held)
+		c.scanExpr(e.Y, held)
+	case *ast.ParenExpr:
+		c.scanExpr(e.X, held)
+	case *ast.SelectorExpr:
+		c.scanExpr(e.X, held)
+	case *ast.IndexExpr:
+		c.scanExpr(e.X, held)
+		c.scanExpr(e.Index, held)
+	case *ast.SliceExpr:
+		c.scanExpr(e.X, held)
+	case *ast.StarExpr:
+		c.scanExpr(e.X, held)
+	case *ast.TypeAssertExpr:
+		c.scanExpr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.scanExpr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		c.scanExpr(e.Value, held)
+	}
+}
+
+// report emits one diagnostic naming the held locks.
+func (c *lockscopeChecker) report(pos token.Pos, held map[string]token.Pos, what string) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	c.pass.Reportf(pos, "%s while %s is held; blocking inside a critical section stalls every contender on the lock", what, strings.Join(names, ", "))
+}
+
+// lockMethod recognizes Lock/Unlock-family calls on sync.Mutex and
+// sync.RWMutex receivers, returning the method name and the receiver
+// expression text used as the held-set key.
+func lockMethod(info *types.Info, call *ast.CallExpr) (name, key string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", ""
+	}
+	t := recv.Type()
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", ""
+	}
+	return fn.Name(), types.ExprString(sel.X)
+}
+
+// selectHasDefault reports whether the select has a default clause (a
+// non-blocking try).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall classifies one call made inside a critical section,
+// returning a non-empty reason if it may block.
+func (c *lockscopeChecker) blockingCall(call *ast.CallExpr) string {
+	info := c.pass.TypesInfo
+	// Conversions and builtins never block.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return ""
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	switch obj := obj.(type) {
+	case *types.Builtin, *types.TypeName, nil:
+		// Builtins are non-blocking; a nil object with a func-typed
+		// expression is an anonymous callback (field access through a
+		// method value, a call's func result): treat as callback below.
+		if obj == nil {
+			if t := info.TypeOf(call.Fun); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Signature); ok {
+					return "call through a function value (callback)"
+				}
+			}
+		}
+		return ""
+	case *types.Var:
+		// Calling a func-typed variable, field or parameter: a callback
+		// whose body the analyzer cannot see.
+		return fmt.Sprintf("call through function value %s (callback)", obj.Name())
+	case *types.Func:
+		return c.blockingFunc(obj)
+	}
+	return ""
+}
+
+// blockingFunc classifies a resolved callee: known-blocking stdlib
+// entry points, blocking-named methods on foreign or interface types,
+// and same-package helpers whose bodies contain a blocking construct.
+func (c *lockscopeChecker) blockingFunc(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "" // universe scope (error.Error)
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if pkg.Path() == "time" && fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+		if lockscopeIOPkgs[pkg.Path()] && !lockscopeIOAllow[pkg.Name()+"."+fn.Name()] {
+			return fmt.Sprintf("%s.%s performs I/O", pkg.Name(), fn.Name())
+		}
+	} else if lockscopeMethods[fn.Name()] {
+		recv := sig.Recv().Type()
+		base := recv
+		if p, ok := types.Unalias(base).(*types.Pointer); ok {
+			base = p.Elem()
+		}
+		_, isIface := types.Unalias(base).Underlying().(*types.Interface)
+		named, isNamed := types.Unalias(base).(*types.Named)
+		if isIface || !isNamed || named.Obj().Pkg() != c.pass.Pkg {
+			// Interface or foreign receiver: the body is invisible (or
+			// dispatch-dependent), assume the worst. A same-package
+			// concrete method falls through and is judged by its body
+			// below.
+			return fmt.Sprintf("(%s).%s may block", types.TypeString(recv, types.RelativeTo(c.pass.Pkg)), fn.Name())
+		}
+	}
+	// Same-package callee: flag the call if its body contains a
+	// blocking construct (one memoized transitive scan).
+	if pkg.Path() == c.pass.Pkg.Path() {
+		if reason := c.calleeBlocks(fn); reason != "" {
+			return fmt.Sprintf("call to %s, which %s", fn.Name(), reason)
+		}
+	}
+	return ""
+}
+
+// calleeBlocks scans a same-package function body for blocking
+// constructs, memoized and cycle-safe.
+func (c *lockscopeChecker) calleeBlocks(fn *types.Func) string {
+	if reason, ok := c.blocking[fn]; ok {
+		return reason
+	}
+	if c.visiting[fn] {
+		return ""
+	}
+	fd, ok := c.decls[fn]
+	if !ok || fd.Body == nil {
+		c.blocking[fn] = ""
+		return ""
+	}
+	c.visiting[fn] = true
+	defer delete(c.visiting, fn)
+	reason := c.blockingConstruct(fd.Body)
+	c.blocking[fn] = reason
+	return reason
+}
+
+// blockingConstruct scans a syntax tree for the first blocking
+// construct. A select with a default clause makes its comm operations
+// non-blocking tries, so only the clause bodies are scanned there.
+func (c *lockscopeChecker) blockingConstruct(root ast.Node) string {
+	reason := ""
+	ast.Inspect(root, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reason = "receives from a channel"
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				reason = "selects"
+				return false
+			}
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && reason == "" {
+					for _, s := range cc.Body {
+						if reason == "" {
+							reason = c.blockingConstruct(s)
+						}
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+					reason = "ranges over a channel"
+				}
+			}
+		case *ast.CallExpr:
+			if r := c.blockingCall(n); r != "" {
+				reason = r
+			}
+		}
+		return reason == ""
+	})
+	return reason
+}

@@ -1,6 +1,6 @@
 // Command sbcheck is the repository's invariant analyzer suite, run by
 // "make lint" and CI's lint job. It loads and type-checks every package
-// in the module (no network, no external tooling) and applies four
+// in the module (no network, no external tooling) and applies eight
 // repo-specific analyzers:
 //
 //   - detclock — no wall-clock reads (time.Now and friends) in
@@ -11,30 +11,54 @@
 //   - maporder — no order-dependent slices or output-sink writes built
 //     while ranging over a map in deterministic packages;
 //   - flusherr — Flush/Close errors on probestore/sbserver/sbclient
-//     types are never discarded, anywhere (including tests).
+//     types are never discarded, anywhere (including tests);
+//   - lockscope — no blocking operations (channel ops, I/O, barriers,
+//     sink/callback invocation) while a sync mutex is held in the
+//     concurrent core packages (sbserver, probestore, sbclient, core);
+//   - goexit — every go statement in long-lived packages has a visible
+//     stop path (ctx, channel receive/select/send, WaitGroup);
+//   - ctxflow — context.Background/TODO only at process edges (package
+//     main and tests), never mid-stack in library code;
+//   - hotalloc — no allocation-causing constructs inside functions
+//     marked with a "//sbcheck:hotpath" doc-comment directive.
 //
 // A package opts into the three determinism analyzers by carrying a
 // "//sbcheck:deterministic" comment before the package clause of any
-// non-test file. A single finding is waived with an inline
+// non-test file. A function opts into hotalloc with "//sbcheck:hotpath"
+// in its doc comment. A single finding is waived with an inline
 // "//sbcheck:ignore <analyzer> <reason>" comment on the offending line
 // or the line above; the reason is mandatory and an ignore without one
 // (or naming an unknown analyzer) is itself reported.
 //
 // Usage:
 //
-//	go run ./tools/sbcheck [-list] [packages]
+//	go run ./tools/sbcheck [-list] [-waiver-budget file] [packages]
 //
 // Packages default to ./... (the whole module). Diagnostics print as
 // file:line:col: [analyzer] message; the exit status is 1 if any
 // diagnostic survives suppression.
+//
+// -list prints the analyzer suite, the deterministic packages, the
+// hotpath-marked functions, and the total waiver count, running no
+// analysis.
+//
+// -waiver-budget compares the per-analyzer count of sbcheck:ignore
+// comments against the committed budget file (lint-waivers.txt): a
+// count above its budgeted line fails the run, so waivers cannot
+// accrete silently — growing the budget takes a reviewed edit to the
+// budget file. Shrinking is always allowed (and the file should then be
+// re-baselined to the lower count).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"sbprivacy/tools/sbcheck/analysis"
 	"sbprivacy/tools/sbcheck/analyzers"
@@ -42,14 +66,15 @@ import (
 )
 
 func main() {
-	listOnly := flag.Bool("list", false, "list analyzers and deterministic packages, run nothing")
+	listOnly := flag.Bool("list", false, "list analyzers, deterministic packages, hotpath functions and waiver count; run nothing")
+	budgetPath := flag.String("waiver-budget", "", "budget file of per-analyzer sbcheck:ignore counts; fail if any count exceeds its budget")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: sbcheck [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sbcheck [-list] [-waiver-budget file] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Packages default to ./... relative to the module root.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(flag.Args(), *listOnly))
+	os.Exit(run(flag.Args(), *listOnly, *budgetPath))
 }
 
 // finding pairs a diagnostic with the analyzer that produced it, ready
@@ -62,7 +87,7 @@ type finding struct {
 	message  string
 }
 
-func run(patterns []string, listOnly bool) int {
+func run(patterns []string, listOnly bool, budgetPath string) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
@@ -82,14 +107,28 @@ func run(patterns []string, listOnly bool) int {
 	}
 
 	var findings []finding
+	waivers := map[string]int{}
+	totalWaivers := 0
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			fatal(err)
 		}
+		for _, p := range []*load.Package{pkg, pkg.XTest} {
+			if p == nil {
+				continue
+			}
+			for _, ig := range p.Ignores {
+				waivers[ig.Analyzer]++
+				totalWaivers++
+			}
+		}
 		if listOnly {
 			if pkg.Deterministic {
 				fmt.Printf("deterministic: %s\n", pkg.ImportPath)
+			}
+			for _, fd := range analyzers.HotpathFuncs(pkg.Files) {
+				fmt.Printf("hotpath: %s: %s\n", pkg.ImportPath, analyzers.HotpathName(fd))
 			}
 			continue
 		}
@@ -101,6 +140,7 @@ func run(patterns []string, listOnly bool) int {
 		}
 	}
 	if listOnly {
+		fmt.Printf("waivers: %d\n", totalWaivers)
 		return 0
 	}
 
@@ -120,11 +160,61 @@ func run(patterns []string, listOnly bool) int {
 	for _, f := range findings {
 		fmt.Printf("%s:%d:%d: [%s] %s\n", f.file, f.line, f.col, f.analyzer, f.message)
 	}
-	if len(findings) > 0 {
-		fmt.Printf("sbcheck: %d problem(s)\n", len(findings))
+	problems := len(findings)
+	if budgetPath != "" {
+		problems += checkWaiverBudget(budgetPath, waivers)
+	}
+	if problems > 0 {
+		fmt.Printf("sbcheck: %d problem(s)\n", problems)
 		return 1
 	}
 	return 0
+}
+
+// checkWaiverBudget compares the observed per-analyzer waiver counts
+// against the committed budget file and prints one problem line per
+// overrun (or per analyzer missing from the file entirely). The file
+// format is one "analyzer count" pair per line; blank lines and
+// #-comments are skipped.
+func checkWaiverBudget(path string, waivers map[string]int) (problems int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(fmt.Errorf("waiver budget: %w", err))
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	budget := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			fatal(fmt.Errorf("waiver budget %s: malformed line %q", path, line))
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fatal(fmt.Errorf("waiver budget %s: bad count in %q", path, line))
+		}
+		budget[fields[0]] = n
+	}
+	if err := sc.Err(); err != nil {
+		fatal(fmt.Errorf("waiver budget: %w", err))
+	}
+	names := make([]string, 0, len(waivers))
+	for name := range waivers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if waivers[name] > budget[name] {
+			fmt.Printf("%s: [waiver-budget] %d sbcheck:ignore %s waiver(s), budget allows %d; justify the growth by updating the budget file\n",
+				path, waivers[name], name, budget[name])
+			problems++
+		}
+	}
+	return problems
 }
 
 // analyzePackage runs every applicable analyzer over one package and

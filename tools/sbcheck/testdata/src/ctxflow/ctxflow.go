@@ -1,0 +1,27 @@
+// Package ctxflow exercises the process-edge rule: library code minting
+// a root context draws a diagnostic; deriving from the caller's ctx and
+// justified detachments do not.
+package ctxflow
+
+import "context"
+
+// mint: a Background mid-stack detaches everything below it.
+func mint() context.Context {
+	return context.Background() // want `context\.Background in library code`
+}
+
+// todo: TODO is Background with an excuse.
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO in library code`
+}
+
+// derive: deriving from the caller's ctx is the sanctioned pattern.
+func derive(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// waived: a documented legitimate detachment (a shutdown path that must
+// outlive an already-cancelled parent) suppresses with a reason.
+func waived() context.Context {
+	return context.Background() //sbcheck:ignore ctxflow fixture demonstrating a documented detachment
+}

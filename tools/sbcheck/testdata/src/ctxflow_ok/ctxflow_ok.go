@@ -1,0 +1,16 @@
+// Package main is a process edge: minting the root context here is
+// exactly where Background belongs, so ctxflow reports nothing.
+package main
+
+import "context"
+
+func root() (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	return context.WithCancel(ctx)
+}
+
+func main() {
+	ctx, cancel := root()
+	defer cancel()
+	_ = ctx
+}

@@ -1,0 +1,38 @@
+// Package goexit exercises the stop-path rule: every go statement whose
+// goroutine nothing can visibly stop draws a diagnostic.
+package goexit
+
+func work() int { return 1 }
+
+// leakForever: an unbounded loop with no stop signal.
+func leakForever() {
+	go func() { // want `go statement has no visible stop path`
+		for {
+			_ = work()
+		}
+	}()
+}
+
+// spin is the same-package callee with no stop path of its own.
+func spin() {
+	for {
+		_ = work()
+	}
+}
+
+// leakCallee: the resolved callee's body is judged.
+func leakCallee() {
+	go spin() // want `go statement has no visible stop path`
+}
+
+// leakOpaque: an unresolvable callee with no stop-carrier argument.
+func leakOpaque(fn func(int)) {
+	go fn(1) // want `go statement has no visible stop path`
+}
+
+// waived: a justified ignore suppresses (a fire-and-forget goroutine
+// whose lifetime the caller documents out of band).
+func waived() {
+	//sbcheck:ignore goexit fixture demonstrating a documented fire-and-forget goroutine
+	go spin()
+}

@@ -1,0 +1,61 @@
+// Package goexitok holds the sanctioned goroutine shapes: each one has
+// an analyzer-visible stop path and draws nothing.
+package goexitok
+
+import (
+	"context"
+	"sync"
+)
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// ctxBound: the goroutine watches the caller's ctx.
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// selectLoop: a select is a visible stop path.
+func selectLoop(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// rangeDrain: the resolved callee ranges a channel, which ends when the
+// channel closes.
+func rangeDrain(ch chan int) {
+	go drain(ch)
+}
+
+// waitGroup: Done signals a waiter.
+func waitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// resultSend: handing the result over is a rendezvous with the
+// receiver — the goroutine visibly ends at the send.
+func resultSend(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}
+
+// opaqueWithCarrier: the callee is invisible but an argument carries
+// the stop signal into it.
+func opaqueWithCarrier(fn func(chan int), ch chan int) {
+	go fn(ch)
+}

@@ -1,0 +1,67 @@
+// Package hotalloc exercises the allocation budget: every
+// allocation-causing construct inside a //sbcheck:hotpath-marked
+// function draws its diagnostic; unmarked functions are out of scope.
+package hotalloc
+
+import "fmt"
+
+// sink is an interface-taking callee for the boxing check.
+func sink(v interface{}) { _ = v }
+
+//sbcheck:hotpath
+func sprintfHot(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf allocates`
+}
+
+//sbcheck:hotpath
+func convHot(b []byte, s string) int {
+	x := string(b) // want `string<->\[\]byte conversion`
+	y := []byte(s) // want `string<->\[\]byte conversion`
+	return len(x) + len(y)
+}
+
+//sbcheck:hotpath
+func concatHot(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//sbcheck:hotpath
+func literalsHot() int {
+	xs := []int{1, 2}     // want `slice literal allocates`
+	m := map[string]int{} // want `map literal allocates`
+	return len(xs) + len(m)
+}
+
+//sbcheck:hotpath
+func makeHot() map[string]int {
+	return make(map[string]int) // want `unsized make allocates`
+}
+
+//sbcheck:hotpath
+func appendHot(dst []int) []int {
+	var local []int
+	local = append(local, 1)    // want `append to a slice the caller does not manage`
+	dst = append(dst, local...) // appending to the caller's buffer is amortized by the caller
+	return dst
+}
+
+//sbcheck:hotpath
+func closureHot() func() int {
+	n := 1
+	return func() int { return n } // want `closure captures n`
+}
+
+//sbcheck:hotpath
+func boxHot(n int) {
+	sink(n) // want `boxes the value into an interface`
+}
+
+//sbcheck:hotpath
+func waivedHot() string {
+	return fmt.Sprintf("cold") //sbcheck:ignore hotalloc fixture demonstrating a budgeted allocation
+}
+
+// coldPath is unmarked: the same constructs draw nothing.
+func coldPath(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}

@@ -1,0 +1,38 @@
+// Package hotallocok holds the sanctioned hot-path idioms: scratch
+// buffers, caller-provided slices, sized makes and pointer-shaped
+// boxing, none of which draw diagnostics.
+package hotallocok
+
+// enc mimics the wire writer: a struct-field scratch buffer instead of
+// escaping local arrays.
+type enc struct {
+	scratch [16]byte
+	n       int
+}
+
+//sbcheck:hotpath
+func (e *enc) put(b []byte) int {
+	n := copy(e.scratch[:], b)
+	e.n += n
+	return n
+}
+
+//sbcheck:hotpath
+func appendParam(dst []byte, v byte) []byte {
+	return append(dst, v)
+}
+
+//sbcheck:hotpath
+func sizedMake(n int) []byte {
+	return make([]byte, 0, n)
+}
+
+//sbcheck:hotpath
+func ptrBox(e *enc, emit func(interface{})) {
+	emit(e) // pointer-shaped values box without allocating
+}
+
+// noMarker allocates freely: unmarked functions are out of scope.
+func noMarker() string {
+	return string([]byte{1, 2})
+}

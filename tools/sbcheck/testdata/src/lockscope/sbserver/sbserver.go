@@ -1,0 +1,117 @@
+// Package sbserver is a stand-in for internal/sbserver in the lockscope
+// fixture: every blocking-operation class inside a critical section
+// draws its diagnostic. The directory's final element matches a scoped
+// package name, which is what puts the fixture in lockscope's scope.
+package sbserver
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// Sink mimics the probe fan-out interface.
+type Sink interface {
+	Observe(int)
+}
+
+// S carries the mutex and the blocking temptations.
+type S struct {
+	mu   sync.Mutex
+	ch   chan int
+	cb   func()
+	sink Sink
+	f    *os.File
+}
+
+// sendUnderLock: channel sends block while holding the mutex.
+func (s *S) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// recvUnderLock: the defer-unlock idiom keeps the lock held to return.
+func (s *S) recvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while s\.mu is held`
+}
+
+// selectUnderLock: a select without default parks the goroutine.
+func (s *S) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while s\.mu is held`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// ioUnderLock: file-system calls are assumed blocking.
+func (s *S) ioUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := os.Create("x") // want `os\.Create performs I/O while s\.mu is held`
+	return err
+}
+
+// foreignMethodUnderLock: a blocking-named method on a foreign type.
+func (s *S) foreignMethodUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `\(\*os\.File\)\.Sync may block while s\.mu is held`
+}
+
+// callbackUnderLock: a function-value call whose body is invisible.
+func (s *S) callbackUnderLock() {
+	s.mu.Lock()
+	s.cb() // want `call through function value cb \(callback\) while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// sinkUnderLock: interface dispatch may reach any implementation.
+func (s *S) sinkUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink.Observe(1) // want `\(Sink\)\.Observe may block while s\.mu is held`
+}
+
+// sleepUnderLock: the canonical latency cliff.
+func (s *S) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// spill is the one-level same-package callee resolution target.
+func (s *S) spill() error {
+	return os.WriteFile("x", nil, 0o644)
+}
+
+// helperUnderLock: the I/O hides one call away; the diagnostic lands at
+// the call site inside the locked region and names the chain.
+func (s *S) helperUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spill() // want `call to spill, which os\.WriteFile performs I/O while s\.mu is held`
+}
+
+// earlyUnlock: the bail-out branch releases only on its own path — the
+// fall-through still holds the lock.
+func (s *S) earlyUnlock(stop bool) {
+	s.mu.Lock()
+	if stop {
+		s.mu.Unlock()
+		return
+	}
+	s.ch <- 2 // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// waived: a justified ignore naming the contract suppresses.
+func (s *S) waived() {
+	s.mu.Lock()
+	s.ch <- 3 //sbcheck:ignore lockscope fixture demonstrating a contract-named waiver
+	s.mu.Unlock()
+}

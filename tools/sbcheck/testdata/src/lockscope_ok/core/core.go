@@ -1,0 +1,66 @@
+// Package core is a stand-in scoped package for the lockscope passing
+// fixture: the sanctioned patterns draw no diagnostics.
+package core
+
+import (
+	"os"
+	"sync"
+)
+
+// C carries the mutex and the state it guards.
+type C struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// pureUnderLock: computation under the lock is the point of a mutex.
+func (c *C) pureUnderLock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// sendAfterUnlock: the blocking op runs outside the critical section.
+func (c *C) sendAfterUnlock() {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+// tryUnderLock: a select with default is a non-blocking try.
+func (c *C) tryUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.ch <- c.n:
+	default:
+	}
+}
+
+// spawnUnderLock: starting a goroutine is not blocking; its body runs
+// outside this critical section.
+func (c *C) spawnUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.ch <- 1
+	}()
+}
+
+// ioOutsideLock: I/O with no lock held is out of scope.
+func (c *C) ioOutsideLock() error {
+	return os.WriteFile("x", nil, 0o644)
+}
+
+// snapshotThenWrite is the sanctioned restructure: copy under the
+// lock, write outside it.
+func (c *C) snapshotThenWrite(f *os.File) error {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	_, err := f.Write([]byte{byte(v)})
+	return err
+}
