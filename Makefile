@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench docs-check examples-check ablate-smoke loadrig-smoke
+.PHONY: check build vet lint test race bench docs-check examples-check ablate-smoke loadrig-smoke idxbench-guard
 
 check: build vet race
 
@@ -27,14 +27,34 @@ ablate-smoke:
 
 # loadrig-smoke drives a short fleet run over real loopback sockets
 # with a server-side rate limit low enough to force 429 + Retry-After
-# traffic, then validates the emitted BENCH_loadrig.json by re-reading
-# it; CI's bench-smoke job calls this.
+# traffic, then validates the emitted report by re-reading it; CI's
+# bench-smoke job calls this. The report goes to a temp path and is
+# cleaned up — BENCH_*.json in the repo root are deliberate trajectory
+# artifacts, not smoke-test droppings (see docs/EXPERIMENTS.md).
 loadrig-smoke:
+	out=$$(mktemp -t BENCH_loadrig.XXXXXX.json) && \
+	trap 'rm -f "$$out"' EXIT && \
 	timeout 120 $(GO) run ./cmd/experiments -loadrig \
 		-loadrig-workers 8 -loadrig-clients 64 -loadrig-requests 200 \
 		-loadrig-rate 4000 -loadrig-burst 100 -loadrig-retries 20 \
-		-bench-out BENCH_loadrig.json
-	$(GO) run ./tools/doccheck -bench BENCH_loadrig.json
+		-bench-out "$$out" && \
+	$(GO) run ./tools/doccheck -bench "$$out"
+
+# idxbench-guard benchmarks the serving-path prefix index (map-backed
+# baseline vs flat open-addressing table) at CI-sized prefix counts,
+# schema-validates the emitted report, and fails if the flat design's
+# new/old lookup ratio regressed past the committed baseline
+# (docs/BENCH_prefixtable_baseline.json) times the guard slack, if the
+# flat design lost to the map outright at paper scale (1e6), or if a
+# lookup allocated; CI's bench-guard job calls this.
+idxbench-guard:
+	out=$$(mktemp -t BENCH_prefixtable.XXXXXX.json) && \
+	trap 'rm -f "$$out"' EXIT && \
+	timeout 300 $(GO) run ./cmd/experiments -idxbench \
+		-idxbench-sizes 100000,1000000 -idxbench-lookups 262144 \
+		-bench-out "$$out" && \
+	$(GO) run ./tools/doccheck -bench "$$out" \
+		-bench-baseline docs/BENCH_prefixtable_baseline.json
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sbprivacy/internal/prefixtable"
+	"sbprivacy/internal/sbserver"
+)
+
+// idxbenchOptions carries the -idxbench flag set into the run.
+type idxbenchOptions struct {
+	sizes    string // comma-separated prefix counts
+	lookups  int
+	seed     int64
+	benchOut string
+	baseline string // committed baseline to guard against; "" = no guard
+}
+
+// runIdxbench executes one serving-index benchmark — the map-backed
+// ablation baseline against the flat open-addressing prefix table on
+// identical workloads — prints the comparison, optionally writes the
+// machine-readable BENCH_prefixtable.json report, and optionally
+// guards the run against a committed baseline report.
+func runIdxbench(w io.Writer, opts idxbenchOptions) error {
+	sizes, err := parseSizes(opts.sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "idxbench: striped-map vs prefixtable at sizes %v, %d lookups/path, seed %d\n",
+		sizes, pickLookups(opts.lookups), opts.seed)
+
+	rep, err := sbserver.RunIndexBench(sbserver.IndexBenchConfig{
+		Sizes:   sizes,
+		Lookups: opts.lookups,
+		Seed:    opts.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, res := range rep.Results {
+		fmt.Fprintf(w, "idxbench: %9d prefixes: hit %7.1f -> %7.1f ns/op (%.2fx)  miss %7.1f -> %7.1f ns/op (%.2fx)  allocs %.3g -> %.3g/op\n",
+			res.Prefixes,
+			res.Old.LookupHitNsPerOp, res.New.LookupHitNsPerOp, res.SpeedupHit,
+			res.Old.LookupMissNsPerOp, res.New.LookupMissNsPerOp, res.SpeedupMiss,
+			res.Old.LookupAllocsPerOp, res.New.LookupAllocsPerOp)
+		fmt.Fprintf(w, "idxbench: %9d prefixes: build %7.1f -> %7.1f ns/op  remove %7.1f -> %7.1f ns/op  bytes %d -> %d\n",
+			res.Prefixes,
+			res.Old.BuildNsPerOp, res.New.BuildNsPerOp,
+			res.Old.RemoveNsPerOp, res.New.RemoveNsPerOp,
+			res.Old.Bytes, res.New.Bytes)
+	}
+
+	if opts.benchOut != "" {
+		if err := rep.WriteFile(opts.benchOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "idxbench: wrote %s\n", opts.benchOut)
+	}
+
+	if opts.baseline != "" {
+		base, err := prefixtable.ReadFile(opts.baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if err := prefixtable.Guard(rep, base); err != nil {
+			return fmt.Errorf("bench guard failed against %s: %w", opts.baseline, err)
+		}
+		fmt.Fprintf(w, "idxbench: guard passed against %s\n", opts.baseline)
+	}
+	return nil
+}
+
+// pickLookups mirrors the config defaulting for the banner line.
+func pickLookups(lookups int) int {
+	if lookups <= 0 {
+		return sbserver.DefaultIndexBenchLookups
+	}
+	return lookups
+}
+
+// parseSizes turns "100000,1000000" into []int.
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -idxbench-sizes entry %q: %w", part, err)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-idxbench-sizes %q names no sizes", s)
+	}
+	return sizes, nil
+}

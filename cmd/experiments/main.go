@@ -7,6 +7,7 @@
 //	experiments -run figure5 -hosts 20000
 //	experiments -loadtest 8 -loadtest-secs 5   # provider throughput load test
 //	experiments -loadrig -loadrig-workers 64   # fleet rig over real sockets
+//	experiments -idxbench -bench-out BENCH_prefixtable.json   # serving-index bench
 //	experiments -campaign -days 7 -clients 1000 -seed 42
 //
 // Scale knobs: -hosts controls the synthetic corpus size (Figures 5/6,
@@ -23,9 +24,19 @@
 //
 // Load rig mode (-loadrig) drives a concurrent client fleet through
 // the production HTTP transport over real loopback sockets, optionally
-// against server-side rate limits (-loadrig-rate, -loadrig-inflight),
-// and writes the machine-readable benchmark report to -bench-out
-// (default BENCH_loadrig.json).
+// against server-side rate limits (-loadrig-rate, -loadrig-inflight).
+//
+// Index bench mode (-idxbench) measures the serving-path prefix index:
+// the map-backed striped baseline against the flat open-addressing
+// prefix table on identical workloads at each -idxbench-sizes count.
+// With -idxbench-baseline it also guards the run against a committed
+// BENCH_prefixtable.json and fails if the flat design regressed.
+//
+// Both bench modes write their machine-readable report to -bench-out.
+// The default is "" (don't write): BENCH_*.json files are gitignored
+// trajectory artifacts, so writing one is always an explicit choice —
+// smoke runs (make loadrig-smoke, make idxbench-guard) point -bench-out
+// at temp paths and clean up after themselves.
 package main
 
 import (
@@ -83,7 +94,12 @@ func run() int {
 		rigBurst    = flag.Int("loadrig-burst", 0, "server token-bucket burst capacity (0 = ceil(rate))")
 		rigInflight = flag.Int("loadrig-inflight", 0, "server max concurrent requests in flight (0 = unlimited)")
 		rigRetries  = flag.Int("loadrig-retries", 0, "client retry budget per request (0 = default policy, negative = no retries)")
-		benchOut    = flag.String("bench-out", "BENCH_loadrig.json", "load rig report path ('' = don't write)")
+		benchOut    = flag.String("bench-out", "", "machine-readable report path for -loadrig / -idxbench ('' = don't write)")
+
+		idxbench         = flag.Bool("idxbench", false, "run the serving-index benchmark (striped-map vs prefixtable) instead of experiments")
+		idxbenchSizes    = flag.String("idxbench-sizes", "100000,1000000", "comma-separated prefix counts for -idxbench")
+		idxbenchLookups  = flag.Int("idxbench-lookups", 0, "measured lookups per path per design for -idxbench (0 = default)")
+		idxbenchBaseline = flag.String("idxbench-baseline", "", "committed BENCH_prefixtable.json to guard the -idxbench run against ('' = no guard)")
 	)
 	flag.Parse()
 
@@ -120,6 +136,18 @@ func run() int {
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: campaign: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *idxbench {
+		err := runIdxbench(os.Stdout, idxbenchOptions{
+			sizes: *idxbenchSizes, lookups: *idxbenchLookups, seed: *seed,
+			benchOut: *benchOut, baseline: *idxbenchBaseline,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: idxbench: %v\n", err)
 			return 1
 		}
 		return 0

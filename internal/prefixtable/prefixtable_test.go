@@ -1,0 +1,340 @@
+package prefixtable
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"sbprivacy/internal/hashx"
+)
+
+// testDigest derives a distinct digest deterministically from (p, tag).
+func testDigest(p hashx.Prefix, tag byte) hashx.Digest {
+	var d hashx.Digest
+	b := p.Bytes()
+	copy(d[:4], b[:])
+	d[4] = tag
+	d[31] = ^tag
+	return d
+}
+
+// collect drains a cursor into (rank, list, digest) tuples.
+type tuple struct {
+	rank   uint32
+	list   string
+	digest hashx.Digest
+}
+
+func collect(t *Table, p hashx.Prefix) []tuple {
+	var out []tuple
+	for c := t.Find(p); c.Next(); {
+		r, l, d := c.Entry()
+		out = append(out, tuple{r, l, d})
+	}
+	return out
+}
+
+func TestZeroTable(t *testing.T) {
+	var tab Table
+	if tab.Len() != 0 || tab.Contains(42) {
+		t.Fatal("zero table is not empty")
+	}
+	if got := collect(&tab, 42); got != nil {
+		t.Fatalf("zero table Find returned %v", got)
+	}
+	tab.Remove(42, 0, testDigest(42, 0)) // no-op, must not panic
+	tab.Add(42, 0, "l", testDigest(42, 0))
+	if tab.Len() != 1 || !tab.Contains(42) {
+		t.Fatal("add on zero table failed")
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	tab := New(8)
+	p := hashx.Prefix(0xe70ee6d1)
+	// Insert ranks out of order, with two entries sharing rank 1: the
+	// cursor must yield ascending ranks, insertion order within a rank.
+	tab.Add(p, 2, "c", testDigest(p, 2))
+	tab.Add(p, 0, "a", testDigest(p, 0))
+	tab.Add(p, 1, "b", testDigest(p, 10))
+	tab.Add(p, 1, "b", testDigest(p, 11))
+	got := collect(tab, p)
+	want := []tuple{
+		{0, "a", testDigest(p, 0)},
+		{1, "b", testDigest(p, 10)},
+		{1, "b", testDigest(p, 11)},
+		{2, "c", testDigest(p, 2)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v\nwant %v", got, want)
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	tab := New(8)
+	p := hashx.Prefix(7)
+	d0, d1 := testDigest(p, 0), testDigest(p, 1)
+	tab.Add(p, 0, "l", d0)
+	tab.Add(p, 0, "l", d1)
+	tab.Add(p, 1, "m", d0)
+
+	tab.Remove(p, 0, testDigest(p, 99)) // absent digest: no-op
+	tab.Remove(p, 9, d0)                // absent rank: no-op
+	if len(collect(tab, p)) != 3 {
+		t.Fatal("remove of absent entry mutated the chain")
+	}
+
+	tab.Remove(p, 0, d0) // head removal
+	got := collect(tab, p)
+	want := []tuple{{0, "l", d1}, {1, "m", d0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after head removal: %v", got)
+	}
+
+	tab.Remove(p, 1, d0) // tail removal
+	tab.Remove(p, 0, d1) // chain empties: prefix dies
+	if tab.Contains(p) || tab.Len() != 0 {
+		t.Fatal("prefix survived emptying its chain")
+	}
+	if tab.Entries() != 0 {
+		t.Fatalf("Entries = %d after removing everything", tab.Entries())
+	}
+	// Freed entries are recycled, not leaked.
+	before := cap(tab.entries)
+	for i := 0; i < 10; i++ {
+		tab.Add(p, 0, "l", d0)
+		tab.Remove(p, 0, d0)
+	}
+	if cap(tab.entries) != before {
+		t.Fatalf("side array grew %d -> %d across add/remove cycles", before, cap(tab.entries))
+	}
+}
+
+// TestGrowthAndMigration drives a single table through several
+// incremental growths and verifies every prefix stays findable with
+// its full chain at every step, including mid-migration.
+func TestGrowthAndMigration(t *testing.T) {
+	var tab Table // start at minimum capacity to force many growths
+	const n = 10000
+	for i := 0; i < n; i++ {
+		p := hashx.Prefix(uint32(i) * 2654435761) // well-spread keys
+		tab.Add(p, 0, "l", testDigest(p, 0))
+		if i%97 == 0 {
+			// Spot-check an older prefix mid-migration.
+			q := hashx.Prefix(uint32(i/2) * 2654435761)
+			if !tab.Contains(q) {
+				t.Fatalf("prefix %v lost after %d adds (growing=%v)", q, i+1, tab.Stats().Growing)
+			}
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d, want %d", tab.Len(), n)
+	}
+	st := tab.Stats()
+	if st.Grows == 0 {
+		t.Fatal("expected at least one growth from minimum capacity")
+	}
+	for i := 0; i < n; i++ {
+		p := hashx.Prefix(uint32(i) * 2654435761)
+		got := collect(&tab, p)
+		if len(got) != 1 || got[0].digest != testDigest(p, 0) {
+			t.Fatalf("prefix %v: got %v", p, got)
+		}
+	}
+	// Misses must stay misses.
+	for i := 0; i < 1000; i++ {
+		p := hashx.Prefix(uint32(n+i)*2654435761 + 1)
+		if tab.Contains(p) {
+			t.Fatalf("false positive on %v", p)
+		}
+	}
+}
+
+// TestRemoveHeavyRehash floods the table with tombstones and checks the
+// same-size rehash reclaims them instead of doubling forever.
+func TestRemoveHeavyRehash(t *testing.T) {
+	var tab Table
+	const n = 4096
+	for i := 0; i < n; i++ {
+		p := hashx.Prefix(i)
+		tab.Add(p, 0, "l", testDigest(p, 0))
+	}
+	for i := 0; i < n; i++ {
+		p := hashx.Prefix(i)
+		tab.Remove(p, 0, testDigest(p, 0))
+	}
+	// Re-add a fresh generation of keys; capacity must not balloon.
+	for i := 0; i < n; i++ {
+		p := hashx.Prefix(n + i)
+		tab.Add(p, 0, "l", testDigest(p, 0))
+	}
+	st := tab.Stats()
+	if st.Prefixes != n {
+		t.Fatalf("Prefixes = %d, want %d", st.Prefixes, n)
+	}
+	if st.Capacity > 4*n*maxLoadDen/maxLoadNum {
+		t.Fatalf("capacity %d ballooned after remove-heavy churn (n=%d)", st.Capacity, n)
+	}
+}
+
+// TestModelEquivalence runs a seeded randomized add/remove/lookup
+// sequence against a reference map model, with a deliberately small
+// prefix universe so chains, collisions and remove-of-absent all occur.
+func TestModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tab Table
+	model := map[hashx.Prefix][]tuple{}
+
+	prefixes := make([]hashx.Prefix, 64)
+	for i := range prefixes {
+		// Half sequential (clustering), half spread.
+		if i%2 == 0 {
+			prefixes[i] = hashx.Prefix(i)
+		} else {
+			prefixes[i] = hashx.Prefix(uint32(i) * 2654435761)
+		}
+	}
+	lists := []string{"goog-malware-shavar", "goog-phish-shavar", "ydx-porno-shavar"}
+
+	modelAdd := func(p hashx.Prefix, e tuple) {
+		entries := model[p]
+		i := len(entries)
+		for i > 0 && entries[i-1].rank > e.rank {
+			i--
+		}
+		entries = append(entries, tuple{})
+		copy(entries[i+1:], entries[i:])
+		entries[i] = e
+		model[p] = entries
+	}
+	modelRemove := func(p hashx.Prefix, rank uint32, d hashx.Digest) {
+		entries := model[p]
+		for i, e := range entries {
+			if e.rank == rank && e.digest == d {
+				entries = append(entries[:i], entries[i+1:]...)
+				break
+			}
+		}
+		if len(entries) == 0 {
+			delete(model, p)
+		} else {
+			model[p] = entries
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		p := prefixes[rng.Intn(len(prefixes))]
+		rank := uint32(rng.Intn(3))
+		d := testDigest(p, byte(rng.Intn(6)))
+		if rng.Intn(3) > 0 {
+			tab.Add(p, rank, lists[rank], d)
+			modelAdd(p, tuple{rank, lists[rank], d})
+		} else {
+			tab.Remove(p, rank, d)
+			modelRemove(p, rank, d)
+		}
+		q := prefixes[rng.Intn(len(prefixes))]
+		got := collect(&tab, q)
+		want := model[q]
+		if !reflect.DeepEqual(got, want) && !(got == nil && len(want) == 0) {
+			t.Fatalf("step %d prefix %v:\n got %v\nwant %v", step, q, got, want)
+		}
+	}
+	if tab.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", tab.Len(), len(model))
+	}
+	live := 0
+	for p, want := range model {
+		live += len(want)
+		if got := collect(&tab, p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("final prefix %v:\n got %v\nwant %v", p, got, want)
+		}
+	}
+	if tab.Entries() != live {
+		t.Fatalf("Entries = %d, model has %d", tab.Entries(), live)
+	}
+}
+
+// TestNewPresized verifies a hint-sized table absorbs its hint without
+// growing.
+func TestNewPresized(t *testing.T) {
+	const n = 100000
+	tab := New(n)
+	for i := 0; i < n; i++ {
+		p := hashx.Prefix(uint32(i) * 2654435761)
+		tab.Add(p, 0, "l", testDigest(p, 0))
+	}
+	if st := tab.Stats(); st.Grows != 0 {
+		t.Fatalf("pre-sized table grew %d times", st.Grows)
+	}
+}
+
+func TestFindAllocs(t *testing.T) {
+	tab := New(1024)
+	hit := hashx.SumPrefix("evil.example/")
+	for i := 0; i < 4; i++ {
+		tab.Add(hit, uint32(i), "goog-malware-shavar", testDigest(hit, byte(i)))
+	}
+	miss := hashx.SumPrefix("clean.example/")
+	sink := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		for c := tab.Find(hit); c.Next(); {
+			r, _, _ := c.Entry()
+			sink += int(r)
+		}
+		if tab.Contains(miss) {
+			sink++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Find/Next/Entry: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestMixAvalanche sanity-checks the xxhash finalizer: sequential keys
+// must spread across slots rather than cluster.
+func TestMixAvalanche(t *testing.T) {
+	const buckets = 256
+	var counts [buckets]int
+	const n = 1 << 16
+	for i := uint32(0); i < n; i++ {
+		counts[mix(i)%buckets]++
+	}
+	mean := float64(n) / buckets
+	for b, c := range counts {
+		if float64(c) < mean/2 || float64(c) > mean*2 {
+			t.Fatalf("bucket %d holds %d of %d (mean %.0f): mixing is not uniform", b, c, n, mean)
+		}
+	}
+}
+
+func TestSizeBytesAndStats(t *testing.T) {
+	tab := New(1000)
+	for i := 0; i < 1000; i++ {
+		p := hashx.Prefix(uint32(i) * 2654435761)
+		tab.Add(p, 0, "l", testDigest(p, 0))
+	}
+	if tab.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive on a populated table")
+	}
+	st := tab.Stats()
+	if st.Prefixes != 1000 || st.Entries != 1000 || st.Capacity == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Sorted decode sanity: Contains agrees with a reference set.
+	ref := map[hashx.Prefix]bool{}
+	for i := 0; i < 1000; i++ {
+		ref[hashx.Prefix(uint32(i)*2654435761)] = true
+	}
+	keys := make([]int, 0, len(ref))
+	for p := range ref {
+		keys = append(keys, int(p))
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if !tab.Contains(hashx.Prefix(k)) {
+			t.Fatalf("lost %v", hashx.Prefix(k))
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package sbserver
+
+import (
+	"testing"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/wire"
+)
+
+// TestPrefixTableLookupAllocs is the runtime half of the hotalloc gate
+// on the flat serving index, the exact mirror of TestShardLookupAllocs
+// for the prefixtable-backed design: with a caller-provided dst of
+// sufficient capacity, a flat-index lookup must not allocate at all.
+// The //sbcheck:hotpath markers on stripe/lookup (and on the
+// prefixtable Find/Cursor path underneath) keep allocation-causing
+// constructs out statically; this test proves the resulting count.
+// Gate: 0 allocs/op on both the hit and miss paths (the measured count
+// at the time the gate landed — it must never grow).
+func TestPrefixTableLookupAllocs(t *testing.T) {
+	x := newFlatIndex()
+	hit := hashx.Sum("evil.example/")
+	miss := hashx.Sum("clean.example/")
+	for i := 0; i < 4; i++ {
+		d := hit
+		d[31] ^= byte(i)
+		x.add(hit.Prefix(), indexEntry{rank: uint32(i), list: "goog-malware-shavar", digest: d})
+	}
+	// Force a stripe deep enough to have grown at least once, so the
+	// gate also covers the probe loop over a resized generation.
+	deep := x.stripe(hit.Prefix())
+	for i := 0; i < 512; i++ {
+		p := hit.Prefix() + hashx.Prefix(numShards*(i+1))
+		if x.stripe(p) != deep {
+			t.Fatalf("stripe stride broken at %d", i)
+		}
+		d := hashx.Sum("filler.example/")
+		x.add(p, indexEntry{rank: 0, list: "goog-malware-shavar", digest: d})
+	}
+
+	dst := make([]wire.FullHashEntry, 0, 16)
+	for name, p := range map[string]hashx.Prefix{
+		"hit":  hit.Prefix(),
+		"miss": miss.Prefix(),
+	} {
+		p := p
+		allocs := testing.AllocsPerRun(1000, func() {
+			dst = x.lookup(p, dst[:0])
+		})
+		if allocs != 0 {
+			t.Errorf("lookup(%s): %v allocs/op, want 0", name, allocs)
+		}
+	}
+	if dst = x.lookup(hit.Prefix(), dst[:0]); len(dst) != 4 {
+		t.Fatalf("lookup returned %d entries, want 4", len(dst))
+	}
+}

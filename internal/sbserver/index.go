@@ -1,0 +1,103 @@
+package sbserver
+
+import (
+	"sync"
+
+	"sbprivacy/internal/hashx"
+	"sbprivacy/internal/prefixtable"
+	"sbprivacy/internal/wire"
+)
+
+// servingIndex is the contract between the Server and its serving-path
+// prefix index: the structure a full-hash lookup reads and a
+// Download-driven list mutation writes. Two implementations exist —
+// the flat open-addressing index (flatIndex, the default) and the
+// map-backed striped index (stripedIndex, kept compiled and
+// benchmarked as the ablation baseline, exactly as the seed's
+// global-lock server is kept for BenchmarkAblationServerSeedDesign).
+// The differential fuzz harness (FuzzIndexDifferential) holds the two
+// to identical observable behaviour.
+type servingIndex interface {
+	// add inserts an entry for p, keeping the per-prefix entries
+	// grouped by ascending list rank (insertion order within a list is
+	// preserved).
+	add(p hashx.Prefix, e indexEntry)
+	// remove deletes the entry for (rank, digest) under p, if present;
+	// removing an absent entry is a no-op.
+	remove(p hashx.Prefix, rank uint32, d hashx.Digest)
+	// lookup appends the full-hash entries matching p to dst and
+	// returns the extended slice. With a dst whose capacity covers the
+	// matches, a lookup performs zero allocations.
+	lookup(p hashx.Prefix, dst []wire.FullHashEntry) []wire.FullHashEntry
+}
+
+// Interface compliance for both serving-index designs.
+var (
+	_ servingIndex = (*flatIndex)(nil)
+	_ servingIndex = (*stripedIndex)(nil)
+)
+
+// flatStripe is one independently locked flat prefix table. The Table
+// spans several cache lines on its own, so neighbouring stripes' lock
+// words never share a line.
+type flatStripe struct {
+	mu sync.RWMutex
+	t  prefixtable.Table
+}
+
+// flatIndex is the default serving-path index: the flat
+// open-addressing prefix table of internal/prefixtable, lock-striped
+// by prefix low bits with the same stripe count as the map-backed
+// baseline so the two designs differ only in the per-stripe structure.
+// Growth is incremental inside each stripe, so a Downloads-driven
+// add/remove burst never holds a stripe's write lock for a full
+// rehash.
+type flatIndex struct {
+	stripes [numShards]flatStripe
+}
+
+func newFlatIndex() *flatIndex {
+	return &flatIndex{}
+}
+
+//sbcheck:hotpath
+func (x *flatIndex) stripe(p hashx.Prefix) *flatStripe {
+	return &x.stripes[uint32(p)&(numShards-1)]
+}
+
+// add implements servingIndex.
+//
+//sbcheck:hotpath
+func (x *flatIndex) add(p hashx.Prefix, e indexEntry) {
+	st := x.stripe(p)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.t.Add(p, e.rank, e.list, e.digest)
+}
+
+// remove implements servingIndex.
+//
+//sbcheck:hotpath
+func (x *flatIndex) remove(p hashx.Prefix, rank uint32, d hashx.Digest) {
+	st := x.stripe(p)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.t.Remove(p, rank, d)
+}
+
+// lookup implements servingIndex. Orphan prefixes have no index
+// entries and append nothing — the client hears only silence for them.
+// With a dst whose capacity covers the matches, a lookup performs zero
+// allocations (TestPrefixTableLookupAllocs gates this).
+//
+//sbcheck:hotpath
+func (x *flatIndex) lookup(p hashx.Prefix, dst []wire.FullHashEntry) []wire.FullHashEntry {
+	st := x.stripe(p)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for c := st.t.Find(p); c.Next(); {
+		_, list, d := c.Entry()
+		dst = append(dst, wire.FullHashEntry{List: list, Digest: d})
+	}
+	return dst
+}

@@ -1,0 +1,165 @@
+package sbserver
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sbprivacy/internal/hashx"
+)
+
+// The differential fuzz harness holds the two serving-index designs —
+// the map-backed stripedIndex (ablation baseline) and the
+// prefixtable-backed flatIndex — to identical observable behaviour
+// under arbitrary interleavings of add, remove and lookup, including
+// the cases the flat design's incremental growth makes delicate: rank
+// collisions on one prefix, duplicate (rank, digest) entries,
+// remove-of-absent, and bulk loads that force a stripe through one or
+// more generation migrations mid-sequence.
+//
+// Every fuzz input decodes into a valid op sequence (no rejected
+// bytes), so coverage-guided fuzzing explores index states rather than
+// parser errors. The committed seed corpus under
+// testdata/fuzz/FuzzIndexDifferential is replayed by plain
+// "go test ./..." — the differential contract is enforced on every CI
+// run, not only when someone runs -fuzz.
+
+// diffOp is one decoded operation: 3 input bytes each.
+const diffOpLen = 3
+
+// diffPrefix maps a selector byte onto a small adversarial prefix
+// universe. Two bits pick the shape, six bits the element, so inputs
+// mix prefixes that share a stripe (probe-cluster pressure), prefixes
+// that are sequential (neighbouring stripes) and prefixes that are
+// well spread (growth across the whole index).
+func diffPrefix(b byte) hashx.Prefix {
+	i := uint32(b & 0x3f)
+	switch b >> 6 {
+	case 0: // sequential: consecutive stripes
+		return hashx.Prefix(0x1000 + i)
+	case 1: // same stripe: stride numShards keeps them colliding
+		return hashx.Prefix(0x2000 + i*numShards)
+	case 2: // spread: Fibonacci hashing scatters them
+		return hashx.Prefix(i * 2654435761)
+	default: // tiny universe: maximal duplicate/remove-absent traffic
+		return hashx.Prefix(0x3000 + i%4)
+	}
+}
+
+// diffDigest derives a deterministic digest from a prefix and a 2-bit
+// tag, so the same input bytes always name the same entry and distinct
+// tags give one prefix several digests.
+func diffDigest(p hashx.Prefix, tag byte) hashx.Digest {
+	var d hashx.Digest
+	d[0] = byte(p >> 24)
+	d[1] = byte(p >> 16)
+	d[2] = byte(p >> 8)
+	d[3] = byte(p)
+	d[4] = tag
+	for i := 5; i < len(d); i++ {
+		d[i] = byte(i) ^ tag
+	}
+	return d
+}
+
+// diffLists ties list names to ranks the way the Server does: rank is
+// the list's creation rank, so the pair travels together.
+var diffLists = [4]string{"list-0", "list-1", "list-2", "list-3"}
+
+// applyDiffOp decodes one op from three bytes and applies it to both
+// indexes, returning the prefix it touched.
+func applyDiffOp(a, b servingIndex, op [diffOpLen]byte) hashx.Prefix {
+	p := diffPrefix(op[1])
+	rank := uint32(op[2] & 3)
+	tag := (op[2] >> 2) & 3
+	list := diffLists[rank]
+	d := diffDigest(p, tag)
+	switch op[0] & 3 {
+	case 0: // add one entry
+		a.add(p, indexEntry{rank: rank, list: list, digest: d})
+		b.add(p, indexEntry{rank: rank, list: list, digest: d})
+	case 1: // remove one entry (possibly absent)
+		a.remove(p, rank, d)
+		b.remove(p, rank, d)
+	case 2: // bulk add: 24 same-stripe prefixes, forces growth
+		for k := uint32(0); k < 24; k++ {
+			q := p + hashx.Prefix(k*numShards)
+			qd := diffDigest(q, tag)
+			a.add(q, indexEntry{rank: rank, list: list, digest: qd})
+			b.add(q, indexEntry{rank: rank, list: list, digest: qd})
+		}
+	default: // bulk remove of the same span (some absent)
+		for k := uint32(0); k < 24; k++ {
+			q := p + hashx.Prefix(k*numShards)
+			qd := diffDigest(q, tag)
+			a.remove(q, rank, qd)
+			b.remove(q, rank, qd)
+		}
+	}
+	return p
+}
+
+// diffCompare asserts both indexes answer a lookup of p identically —
+// same entries, same order (rank groups ascending, insertion order
+// within a rank).
+func diffCompare(t *testing.T, a, b servingIndex, p hashx.Prefix, when string) {
+	t.Helper()
+	got := b.lookup(p, nil)
+	want := a.lookup(p, nil)
+	if len(got) != len(want) {
+		t.Fatalf("%s: prefix %08x: flat returned %d entries, map %d", when, uint32(p), len(got), len(want))
+	}
+	for i := range want {
+		if got[i].List != want[i].List || !bytes.Equal(got[i].Digest[:], want[i].Digest[:]) {
+			t.Fatalf("%s: prefix %08x: entry %d differs: flat (%s, %x…) map (%s, %x…)",
+				when, uint32(p), i, got[i].List, got[i].Digest[:4], want[i].List, want[i].Digest[:4])
+		}
+	}
+}
+
+// diffSweep compares the full observable prefix universe: every
+// selector byte's prefix plus the bulk-op spans.
+func diffSweep(t *testing.T, a, b servingIndex, when string) {
+	t.Helper()
+	for sel := 0; sel < 256; sel++ {
+		p := diffPrefix(byte(sel))
+		diffCompare(t, a, b, p, when)
+		for k := uint32(0); k < 24; k++ {
+			diffCompare(t, a, b, p+hashx.Prefix(k*numShards), when)
+		}
+	}
+}
+
+// runIndexDifferential is the shared body of the fuzz target and its
+// deterministic replay: decode ops, apply to both designs, compare
+// after every op and sweep periodically.
+func runIndexDifferential(t *testing.T, data []byte) {
+	striped := newStripedIndex()
+	flat := newFlatIndex()
+	var op [diffOpLen]byte
+	for n := 0; n+diffOpLen <= len(data); n += diffOpLen {
+		copy(op[:], data[n:n+diffOpLen])
+		p := applyDiffOp(striped, flat, op)
+		diffCompare(t, striped, flat, p, fmt.Sprintf("after op %d", n/diffOpLen))
+		if (n/diffOpLen)%16 == 15 {
+			diffSweep(t, striped, flat, fmt.Sprintf("sweep at op %d", n/diffOpLen))
+		}
+	}
+	diffSweep(t, striped, flat, "final sweep")
+}
+
+// FuzzIndexDifferential cross-checks flatIndex against stripedIndex on
+// arbitrary op sequences. Run with -fuzz=FuzzIndexDifferential to
+// explore; the committed corpus replays in every plain test run.
+func FuzzIndexDifferential(f *testing.F) {
+	// Handwritten seeds covering the regimes the corpus files also pin:
+	// empty input, duplicate adds, remove-of-absent, rank collisions on
+	// one prefix, and a growth-forcing bulk storm.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0, 0xc0, 0, 0, 0xc0, 0, 1, 0xc0, 0, 1, 0xc0, 0})
+	f.Add([]byte{2, 0x40, 0, 2, 0x41, 1, 3, 0x40, 0, 2, 0x40, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runIndexDifferential(t, data)
+	})
+}

@@ -29,12 +29,17 @@ type indexShard struct {
 	m  map[hashx.Prefix][]indexEntry
 }
 
-// stripedIndex is the serving-path index of the provider database. It is
-// keyed by prefix across all lists, so a full-hash lookup touches exactly
-// one shard per requested prefix and lookups on different prefixes never
-// contend. List-management state (chunks, per-list prefix sets) lives on
-// the per-list structs; this index only answers "which digests match this
-// prefix, and in which lists".
+// stripedIndex is the map-backed serving index: Go maps striped by
+// prefix low bits. It was the serving-path index from PR 1 until the
+// flat open-addressing table (flatIndex, internal/prefixtable)
+// replaced it, and it stays compiled, fuzz-compared and benchmarked as
+// the ablation baseline — the "old design" column of
+// BENCH_prefixtable.json. It is keyed by prefix across all lists, so a
+// full-hash lookup touches exactly one shard per requested prefix and
+// lookups on different prefixes never contend. List-management state
+// (chunks, per-list prefix sets) lives on the per-list structs; this
+// index only answers "which digests match this prefix, and in which
+// lists".
 type stripedIndex struct {
 	shards [numShards]indexShard
 }
