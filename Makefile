@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench docs-check examples-check ablate-smoke loadrig-smoke idxbench-guard
+.PHONY: check build vet lint test race bench docs-check examples-check ablate-smoke loadrig-smoke idxbench-guard live-smoke streambench-smoke
 
 check: build vet race
 
@@ -55,6 +55,44 @@ idxbench-guard:
 		-bench-out "$$out" && \
 	$(GO) run ./tools/doccheck -bench "$$out" \
 		-bench-baseline docs/BENCH_prefixtable_baseline.json
+
+# live-smoke is the streaming-pipeline acceptance run: a short campaign
+# writes a probe store from one process while "sbanalyze -live" tails
+# the same directory from another, rendering the rolling dashboard and
+# exiting once the feed goes idle; a batch replay of the sealed store
+# must then reproduce the live run's final snapshot byte-for-byte.
+# CI's live-smoke job calls this. Binaries are prebuilt so the two
+# processes start (and die) cleanly under timeout.
+live-smoke:
+	set -e; \
+	work=$$(mktemp -d -t sb-live-smoke.XXXXXX); \
+	trap 'rm -rf "$$work"' EXIT; \
+	$(GO) build -o "$$work/experiments" ./cmd/experiments; \
+	$(GO) build -o "$$work/sbanalyze" ./cmd/sbanalyze; \
+	timeout 120 "$$work/experiments" -campaign -days 3 -clients 50 -seed 42 \
+		-campaign-store "$$work/store" > "$$work/campaign.log" & camp=$$!; \
+	timeout 180 "$$work/sbanalyze" -live "$$work/store" \
+		-refresh 1 -exit-idle 4 -follow-poll 20ms \
+		-snapshot-out "$$work/live.txt" > "$$work/live.log"; \
+	wait $$camp; \
+	timeout 120 "$$work/sbanalyze" -probe-store "$$work/store" \
+		-index "$$work/store/index.urls" -longitudinal \
+		-snapshot-out "$$work/batch.txt" > /dev/null; \
+	cmp "$$work/live.txt" "$$work/batch.txt"; \
+	echo "live-smoke: live snapshot matches batch replay"
+
+# streambench-smoke pumps a small captured campaign feed through the
+# full streaming pipeline, then validates the emitted BENCH_stream.json
+# through the strict schema reader; CI's bench-smoke job calls this.
+# (The committed trajectory artifact is produced by the full run:
+# experiments -streambench -clients 1000 -days 7 -bench-out ...)
+streambench-smoke:
+	out=$$(mktemp -t BENCH_stream.XXXXXX.json) && \
+	trap 'rm -f "$$out"' EXIT && \
+	timeout 300 $(GO) run ./cmd/experiments -streambench \
+		-days 3 -clients 100 -seed 42 -stream-window 2 \
+		-bench-out "$$out" && \
+	$(GO) run ./tools/doccheck -bench "$$out"
 
 build:
 	$(GO) build ./...

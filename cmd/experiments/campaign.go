@@ -63,6 +63,16 @@ func runCampaign(w io.Writer, opts campaignOptions) error {
 	if err != nil {
 		return err
 	}
+	// Drop the campaign's web index next to the store before the first
+	// probe lands, so a concurrent "sbanalyze -live DIR" can load it
+	// while the campaign is still writing (and the printed sbanalyze
+	// invocation works as-is afterwards). The probe store only treats
+	// seg-* files as its own, so the extra file is safe there.
+	indexPath := filepath.Join(dir, "index.urls")
+	if err := writeIndexFile(indexPath, camp.IndexExpressions()); err != nil {
+		return errors.Join(err, store.Close())
+	}
+
 	index := core.NewIndex(camp.IndexExpressions())
 	live := core.NewLongitudinal(index, opts.linkage)
 
@@ -112,13 +122,6 @@ func runCampaign(w io.Writer, opts campaignOptions) error {
 	}
 	fmt.Fprintf(w, "offline replay over %s deep-equals the live report\n", dir)
 
-	// Drop the campaign's web index next to the store so the printed
-	// sbanalyze invocation works as-is. The probe store only treats
-	// seg-* files as its own, so the extra file is safe there.
-	indexPath := filepath.Join(dir, "index.urls")
-	if err := writeIndexFile(indexPath, camp.IndexExpressions()); err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "rerun the analysis any time:\n  go run ./cmd/sbanalyze -probe-store %s -index %s -longitudinal%s\n",
 		dir, indexPath, linkageFlags(opts.linkage))
 	return nil
@@ -142,19 +145,34 @@ func linkageFlags(l core.LongitudinalConfig) string {
 }
 
 // writeIndexFile writes the campaign's indexed expressions one per
-// line, the format sbanalyze -index reads.
+// line, the format sbanalyze -index reads. The file is written to a
+// temp name and renamed into place, so a concurrent reader (sbanalyze
+// -live polling for the index) sees either nothing or the whole file,
+// never a torn prefix.
 func writeIndexFile(path string, exprs []string) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), ".index-*")
 	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()      //nolint:errcheck // already failing
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
 		return err
 	}
 	for _, e := range exprs {
 		if _, err := fmt.Fprintln(f, e); err != nil {
-			f.Close() //nolint:errcheck // already failing
-			return err
+			return fail(err)
 		}
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return err
+	}
+	return nil
 }
 
 // replayLongitudinal opens the store read-only and replays every probe

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sbprivacy/internal/core"
+	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/stream"
+	"sbprivacy/internal/workload"
+)
+
+// streambenchOptions are the -streambench mode knobs.
+type streambenchOptions struct {
+	clients  int
+	days     int
+	seed     int64
+	window   int    // pipeline sliding window in days (0 = unbounded)
+	benchOut string // "" = don't write BENCH_stream.json
+}
+
+// probeCollector is a ProbeSink that keeps every probe in memory, so
+// the benchmark can separate workload generation from the measured
+// pipeline pump.
+type probeCollector struct {
+	mu     sync.Mutex
+	probes []sbserver.Probe
+}
+
+var _ sbserver.ProbeSink = (*probeCollector)(nil)
+
+func (c *probeCollector) Observe(p sbserver.Probe) {
+	c.mu.Lock()
+	c.probes = append(c.probes, p)
+	c.mu.Unlock()
+}
+
+// runStreambench is the -streambench mode: generate a deterministic
+// multi-day campaign, capture its probe feed, then pump the feed
+// through the full streaming pipeline (reident + linkage) as fast as it
+// will go — measuring sustained probes/sec and the peak resident state
+// the window actually held. The result is printed and, with -bench-out,
+// written as BENCH_stream.json for tools/doccheck -bench.
+func runStreambench(w io.Writer, opts streambenchOptions) error {
+	camp, err := workload.Generate(workload.Config{
+		Days: opts.days, Clients: opts.clients, Seed: opts.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, camp.Summary())
+
+	// Phase 1 (unmeasured): run the campaign through the real stack and
+	// collect the probe feed in delivery order.
+	col := &probeCollector{}
+	if _, err := camp.Run(context.Background(), col); err != nil {
+		return err
+	}
+	probes := col.probes
+	if len(probes) == 0 {
+		return fmt.Errorf("campaign produced no probes")
+	}
+
+	// Phase 2 (measured): pump the captured feed through a fresh
+	// pipeline, sampling the resident-state gauges along the way.
+	x := core.NewIndex(camp.IndexExpressions())
+	re := stream.NewReidentStage(x, opts.window)
+	link := stream.NewLinkageStage(x, core.LongitudinalConfig{}, opts.window)
+	pl := stream.NewPipeline(re, link)
+	stages := []stream.Stage{re, link}
+
+	peakCookies, peakDays := 0, 0
+	sample := func() {
+		for _, s := range stages {
+			st := s.Stats()
+			peakCookies = max(peakCookies, st.ResidentCookies)
+			peakDays = max(peakDays, st.ResidentDays)
+		}
+	}
+	const sampleEvery = 1024
+	start := time.Now()
+	for i, p := range probes {
+		pl.Observe(p)
+		if (i+1)%sampleEvery == 0 {
+			sample()
+		}
+	}
+	elapsed := time.Since(start)
+	sample()
+
+	var evicted, late int64
+	names := make([]string, 0, len(stages))
+	for _, s := range stages {
+		st := s.Stats()
+		evicted += st.EvictedRecords
+		late += st.LateDropped
+		names = append(names, s.Name())
+	}
+
+	rep := &stream.BenchReport{
+		Schema: stream.BenchSchema,
+		Config: stream.BenchConfig{
+			Clients: opts.clients, Days: opts.days,
+			Seed: opts.seed, WindowDays: opts.window,
+		},
+		Stages:              names,
+		Probes:              int64(len(probes)),
+		DurationSeconds:     elapsed.Seconds(),
+		ProbesPerSec:        float64(len(probes)) / elapsed.Seconds(),
+		PeakResidentCookies: peakCookies,
+		PeakResidentDays:    peakDays,
+		EvictedRecords:      evicted,
+		LateDropped:         late,
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("streambench report failed its own schema: %w", err)
+	}
+
+	fmt.Fprintf(w, "\nstreambench: %d probes through [%s] in %.3fs = %.0f probes/sec\n",
+		rep.Probes, joinStages(names), rep.DurationSeconds, rep.ProbesPerSec)
+	fmt.Fprintf(w, "window %d days: peak resident %d cookies / %d days, %d records evicted, %d late probes dropped\n",
+		opts.window, rep.PeakResidentCookies, rep.PeakResidentDays,
+		rep.EvictedRecords, rep.LateDropped)
+
+	if opts.benchOut != "" {
+		if err := rep.WriteBenchFile(opts.benchOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", opts.benchOut)
+	}
+	return nil
+}
+
+// joinStages renders a stage-name list for the human summary line.
+func joinStages(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " -> "
+		}
+		out += n
+	}
+	return out
+}

@@ -51,6 +51,27 @@
 //
 //	sbanalyze -follow /var/log/sb-probes -index urls.txt
 //	sbanalyze -follow /var/log/sb-probes -client victim-cookie
+//
+// -follow-poll tunes how often an idle tail re-checks the directory
+// (default 50ms); it applies to -follow and -live.
+//
+// Live dashboard mode (-live) tails a store directory another process
+// is writing — "experiments -campaign" mid-run, a serving sbserver —
+// through the windowed streaming pipeline of internal/stream and
+// redraws a rolling dashboard every -refresh seconds: per-window
+// re-identification rate, top linked identity chains, and the
+// eviction counters that bound resident state to the newest -window
+// days. The index defaults to DIR/index.urls (the campaign writes it
+// before its first probe). SIGINT, SIGTERM, or -exit-idle seconds of
+// feed silence stop the tail and print the final snapshot;
+// -snapshot-out writes that snapshot's canonical text to a file, and
+// the same flag in replay mode (-probe-store -index [-longitudinal])
+// writes the batch analyzers' reports in the identical layout, so
+// live-vs-batch equivalence on a sealed store is a byte diff:
+//
+//	sbanalyze -live /tmp/sb-campaign-X -window 7 -refresh 2
+//	sbanalyze -live /tmp/sb-campaign-X -exit-idle 5 -snapshot-out live.txt
+//	sbanalyze -probe-store /tmp/sb-campaign-X -index urls.txt -longitudinal -snapshot-out batch.txt
 package main
 
 import (
@@ -87,6 +108,12 @@ func run() int {
 		client       = flag.String("client", "", "print the probe history of one client cookie (replay/follow mode)")
 		since        = flag.String("since", "", "ignore probes before this time (RFC 3339 or 2006-01-02, UTC; replay/follow mode)")
 		until        = flag.String("until", "", "ignore probes at or after this time (RFC 3339 or 2006-01-02, UTC; replay/follow mode)")
+		liveDir      = flag.String("live", "", "rolling dashboard over a probe-store directory another process is writing (streaming pipeline; stop with SIGINT)")
+		windowDays   = flag.Int("window", 7, "live mode: sliding analysis window in days (0 = unbounded)")
+		refreshSecs  = flag.Int("refresh", 2, "live mode: dashboard refresh interval in seconds")
+		followPoll   = flag.Duration("follow-poll", probestore.DefaultFollowPoll, "idle poll interval of the store tail (follow/live mode)")
+		exitIdle     = flag.Int("exit-idle", 0, "live mode: exit once the feed has been idle this many seconds after at least one probe (0 = run until SIGINT)")
+		snapshotOut  = flag.String("snapshot-out", "", "write the canonical final-snapshot text to this file (live mode, or replay mode with -index)")
 		longitudinal = flag.Bool("longitudinal", false, "also run the day-over-day cookie-linkage analysis (needs -index; replay mode)")
 		correlator   = flag.String("correlator", "", "rules file for the temporal-correlation analysis over the replayed window (replay mode; see the package comment for the line format)")
 		minShared    = flag.Int("min-shared", 0, "longitudinal: least shared profile elements per link (0 = default)")
@@ -95,8 +122,18 @@ func run() int {
 	)
 	flag.Parse()
 
-	if *followDir != "" && *storeDir != "" {
-		fmt.Fprintln(os.Stderr, "sbanalyze: -probe-store and -follow are mutually exclusive")
+	modes := 0
+	for _, m := range []string{*followDir, *storeDir, *liveDir} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "sbanalyze: -probe-store, -follow and -live are mutually exclusive")
+		return 2
+	}
+	if *windowDays < 0 || *refreshSecs <= 0 || *exitIdle < 0 {
+		fmt.Fprintln(os.Stderr, "sbanalyze: -window must be >= 0, -refresh > 0, -exit-idle >= 0")
 		return 2
 	}
 	window, err := parseWindow(*since, *until)
@@ -112,8 +149,13 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "sbanalyze: -correlator needs -probe-store")
 		return 2
 	}
+	if *liveDir != "" {
+		return runLive(*liveDir, *indexFile, *windowDays,
+			time.Duration(*refreshSecs)*time.Second, *followPoll,
+			*snapshotOut, time.Duration(*exitIdle)*time.Second)
+	}
 	if *followDir != "" {
-		return runFollow(*followDir, *indexFile, *client, window)
+		return runFollow(*followDir, *indexFile, *client, window, *followPoll)
 	}
 	if *storeDir != "" {
 		linkage := core.LongitudinalConfig{
@@ -121,7 +163,7 @@ func run() int {
 			MinSharedURLs: *minSharedURL,
 			MinLinkScore:  *minLinkScore,
 		}
-		return runReplay(*storeDir, *indexFile, *client, window, *longitudinal, linkage, *correlator)
+		return runReplay(*storeDir, *indexFile, *client, window, *longitudinal, linkage, *correlator, *snapshotOut)
 	}
 	if *since != "" || *until != "" {
 		fmt.Fprintln(os.Stderr, "sbanalyze: -since/-until apply to -probe-store or -follow mode")
@@ -251,7 +293,7 @@ func parseWindow(since, until string) (func(time.Time) bool, error) {
 // history (with -client), and/or run the temporal-correlation rules of
 // a -correlator file. Only probes inside the -since/-until window are
 // analyzed.
-func runReplay(dir, indexFile, client string, window func(time.Time) bool, longitudinal bool, linkage core.LongitudinalConfig, correlatorFile string) int {
+func runReplay(dir, indexFile, client string, window func(time.Time) bool, longitudinal bool, linkage core.LongitudinalConfig, correlatorFile, snapshotOut string) int {
 	// Load the correlation rules before touching the store, so a bad
 	// rules file fails fast; the correlator then rides along whichever
 	// replay pass runs anyway instead of streaming the store twice.
@@ -339,9 +381,26 @@ func runReplay(dir, indexFile, client string, window func(time.Time) bool, longi
 		fmt.Fprintf(w, "\n== re-identification over %d indexed URLs (%d clients) ==\n", n, len(rep.Clients))
 		w.Flush() //nolint:errcheck // interleave report after table
 		fmt.Print(rep)
+		var longRep *core.LongitudinalReport
 		if long != nil {
+			longRep = long.Report()
 			fmt.Printf("\n== day-over-day longitudinal analysis ==\n")
-			fmt.Print(long.Report())
+			fmt.Print(longRep)
+		}
+		if snapshotOut != "" {
+			// The canonical snapshot text mirrors what -live writes for its
+			// final pipeline snapshot, section for section, so a live run
+			// and a batch replay of the same sealed store are comparable
+			// with a plain byte diff.
+			var b strings.Builder
+			writeSnapshotSection(&b, "reident", rep)
+			if longRep != nil {
+				writeSnapshotSection(&b, "linkage", longRep)
+			}
+			if err := os.WriteFile(snapshotOut, []byte(b.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "sbanalyze: write snapshot: %v\n", err)
+				return 1
+			}
 		}
 	} else if client == "" {
 		// Summary-only run: count distinct cookies in one streaming
@@ -446,7 +505,7 @@ func loadRules(path string) ([]core.CorrelationRule, error) {
 // cookie; -index feeds the re-identification analyzer continuously and
 // prints its report when the tail stops. Probes outside the
 // -since/-until window are skipped.
-func runFollow(dir, indexFile, client string, window func(time.Time) bool) int {
+func runFollow(dir, indexFile, client string, window func(time.Time) bool, poll time.Duration) int {
 	store, err := probestore.Open(dir, probestore.ReadOnly())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbanalyze: %v\n", err)
@@ -488,7 +547,7 @@ func runFollow(dir, indexFile, client string, window func(time.Time) bool) int {
 				p.Time.UTC().Format("2006-01-02T15:04:05.000Z"), p.ClientID, p.Prefixes)
 		}
 		return nil
-	})
+	}, probestore.WithFollowPoll(poll))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbanalyze: follow: %v\n", err)
 		return 1

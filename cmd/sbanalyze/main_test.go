@@ -145,7 +145,7 @@ func TestCorrelatorReplay(t *testing.T) {
 			t.Fatalf("Pipe: %v", err)
 		}
 		os.Stdout = w
-		rc := runReplay(dir, "", "", window, false, core.LongitudinalConfig{}, rules)
+		rc := runReplay(dir, "", "", window, false, core.LongitudinalConfig{}, rules, "")
 		w.Close() //nolint:errcheck // test pipe
 		os.Stdout = old
 		out, err := io.ReadAll(r)

@@ -21,24 +21,14 @@ import (
 type Analyzer struct {
 	mu      sync.Mutex
 	x       *Index
-	clients map[string]*clientAgg
+	clients map[string]*ClientTally
 }
 
 var _ sbserver.ProbeSink = (*Analyzer)(nil)
 
-// clientAgg is the per-cookie tally.
-type clientAgg struct {
-	probes    int
-	prefixes  int
-	exact     map[string]int
-	domains   map[string]int
-	ambiguous int
-	unknown   int
-}
-
 // NewAnalyzer builds an analyzer over the provider's web index.
 func NewAnalyzer(x *Index) *Analyzer {
-	return &Analyzer{x: x, clients: make(map[string]*clientAgg)}
+	return &Analyzer{x: x, clients: make(map[string]*ClientTally)}
 }
 
 // Observe implements sbserver.ProbeSink: it re-identifies one probe's
@@ -46,28 +36,19 @@ func NewAnalyzer(x *Index) *Analyzer {
 // with a single exact candidate is an exact URL re-identification; a
 // probe whose candidates share a registrable domain re-identifies the
 // site; anything else is ambiguous (candidates disagree) or unknown
-// (no indexed URL explains the prefixes).
+// (no indexed URL explains the prefixes). The classification and tally
+// live in ClientTally — the scoring core shared with the streaming
+// reident stage of internal/stream.
 func (a *Analyzer) Observe(p sbserver.Probe) {
 	r := a.x.Reidentify(p.Prefixes)
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	c := a.clients[p.ClientID]
 	if c == nil {
-		c = &clientAgg{exact: make(map[string]int), domains: make(map[string]int)}
+		c = NewClientTally()
 		a.clients[p.ClientID] = c
 	}
-	c.probes++
-	c.prefixes += len(p.Prefixes)
-	switch {
-	case r.Exact:
-		c.exact[r.Candidates[0]]++
-	case r.CommonDomain != "":
-		c.domains[r.CommonDomain]++
-	case len(r.Candidates) > 0:
-		c.ambiguous++
-	default:
-		c.unknown++
-	}
+	c.Observe(r, len(p.Prefixes))
 }
 
 // NameCount is a name with an occurrence count, sorted by descending
@@ -112,22 +93,7 @@ type Report struct {
 func (a *Analyzer) Report() *Report {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	rep := &Report{Clients: make([]ClientReport, 0, len(a.clients))}
-	for id, c := range a.clients {
-		rep.Clients = append(rep.Clients, ClientReport{
-			ClientID:  id,
-			Probes:    c.probes,
-			Prefixes:  c.prefixes,
-			ExactURLs: sortedCounts(c.exact),
-			Domains:   sortedCounts(c.domains),
-			Ambiguous: c.ambiguous,
-			Unknown:   c.unknown,
-		})
-	}
-	sort.Slice(rep.Clients, func(i, j int) bool {
-		return rep.Clients[i].ClientID < rep.Clients[j].ClientID
-	})
-	return rep
+	return BuildClientReport(a.clients)
 }
 
 // sortedCounts flattens a tally map into a deterministic slice.

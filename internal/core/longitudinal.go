@@ -5,10 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"sbprivacy/internal/sbserver"
-	"sbprivacy/internal/urlx"
 )
 
 // Longitudinal is the day-over-day re-identification correlator: it
@@ -30,7 +28,7 @@ type Longitudinal struct {
 	mu   sync.Mutex
 	x    *Index
 	cfg  LongitudinalConfig
-	days map[int64]map[string]*cookieDayAgg // unix day → cookie → tally
+	days map[int64]map[string]*DayTally // unix day → cookie → tally
 }
 
 var _ sbserver.ProbeSink = (*Longitudinal)(nil)
@@ -75,68 +73,36 @@ func (c LongitudinalConfig) withDefaults() LongitudinalConfig {
 	return c
 }
 
-// cookieDayAgg is one cookie's tally within one calendar day.
-type cookieDayAgg struct {
-	probes     int
-	urls       map[string]int
-	domains    map[string]int
-	unresolved int
-}
-
 // NewLongitudinal builds a longitudinal correlator over the provider's
 // web index.
 func NewLongitudinal(x *Index, cfg LongitudinalConfig) *Longitudinal {
 	return &Longitudinal{
 		x:    x,
 		cfg:  cfg.withDefaults(),
-		days: make(map[int64]map[string]*cookieDayAgg),
+		days: make(map[int64]map[string]*DayTally),
 	}
-}
-
-// unixDay maps a time to its UTC calendar day number (days since the
-// Unix epoch, floored — correct for pre-1970 times too).
-func unixDay(t time.Time) int64 {
-	sec := t.Unix()
-	day := sec / 86400
-	if sec%86400 < 0 {
-		day--
-	}
-	return day
-}
-
-// dayDate renders a unix day number as its UTC date.
-func dayDate(day int64) string {
-	return time.Unix(day*86400, 0).UTC().Format("2006-01-02")
 }
 
 // Observe implements sbserver.ProbeSink: the probe is re-identified
-// and tallied under its (calendar day, cookie) bucket.
+// and tallied under its (calendar day, cookie) bucket. The
+// classification and tally live in DayTally — the scoring core shared
+// with the streaming linkage stage of internal/stream.
 func (l *Longitudinal) Observe(p sbserver.Probe) {
 	r := l.x.Reidentify(p.Prefixes)
-	day := unixDay(p.Time)
+	day := UnixDay(p.Time)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cookies := l.days[day]
 	if cookies == nil {
-		cookies = make(map[string]*cookieDayAgg)
+		cookies = make(map[string]*DayTally)
 		l.days[day] = cookies
 	}
 	agg := cookies[p.ClientID]
 	if agg == nil {
-		agg = &cookieDayAgg{urls: make(map[string]int), domains: make(map[string]int)}
+		agg = NewDayTally()
 		cookies[p.ClientID] = agg
 	}
-	agg.probes++
-	switch {
-	case r.Exact:
-		u := r.Candidates[0]
-		agg.urls[u]++
-		agg.domains[urlx.RegisteredDomain(urlx.HostOf(u))]++
-	case r.CommonDomain != "":
-		agg.domains[r.CommonDomain]++
-	default:
-		agg.unresolved++
-	}
+	agg.Observe(r)
 }
 
 // CookieDay is one cookie's re-identified activity within one day.
@@ -217,22 +183,6 @@ type LongitudinalReport struct {
 	Chains []ChainReport
 }
 
-// profile returns one (day, cookie) bucket's identity fingerprint: the
-// distinct re-identified exact URLs and the distinct registrable
-// domains. Exact pages are what distinguish two clients sharing the
-// same popular sites, so linkage weighs them separately.
-func (a *cookieDayAgg) profile() (urls, domains map[string]bool) {
-	urls = make(map[string]bool, len(a.urls))
-	for u := range a.urls {
-		urls[u] = true
-	}
-	domains = make(map[string]bool, len(a.domains))
-	for d := range a.domains {
-		domains[d] = true
-	}
-	return urls, domains
-}
-
 // intersect returns |a∩b|.
 func intersect(a, b map[string]bool) int {
 	n := 0
@@ -246,158 +196,13 @@ func intersect(a, b map[string]bool) int {
 
 // Report snapshots the correlator's conclusions. Like Analyzer.Report
 // it is deterministic for a given probe multiset; live callers must
-// flush the server first so in-flight probes are included.
+// flush the server first so in-flight probes are included. The report
+// building itself is BuildLongitudinalReport — the deterministic core
+// shared with the streaming linkage stage of internal/stream.
 func (l *Longitudinal) Report() *LongitudinalReport {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	rep := &LongitudinalReport{}
-	if len(l.days) == 0 {
-		return rep
-	}
-	dayKeys := make([]int64, 0, len(l.days))
-	for d := range l.days {
-		dayKeys = append(dayKeys, d)
-	}
-	sort.Slice(dayKeys, func(i, j int) bool { return dayKeys[i] < dayKeys[j] })
-	first, last := dayKeys[0], dayKeys[len(dayKeys)-1]
-
-	// First- and last-seen days per cookie decide New and link
-	// eligibility. This is a retrospective analysis over a retained
-	// log, so it may look ahead: a cookie only counts as a churn
-	// candidate if it appeared (first seen) or disappeared (last seen)
-	// for good — a light user skipping a day and returning under its
-	// stable cookie is neither.
-	firstSeen := make(map[string]int64)
-	lastSeen := make(map[string]int64)
-	for _, d := range dayKeys {
-		for c := range l.days[d] {
-			if _, seen := firstSeen[c]; !seen {
-				firstSeen[c] = d
-			}
-			lastSeen[c] = d
-		}
-	}
-
-	for d := first; d <= last; d++ {
-		dr := DayReport{Date: dayDate(d), Day: int(d - first)}
-		cookies := l.days[d]
-		names := make([]string, 0, len(cookies))
-		for c := range cookies {
-			names = append(names, c)
-		}
-		sort.Strings(names)
-		for _, c := range names {
-			agg := cookies[c]
-			cd := CookieDay{
-				Cookie:     c,
-				Probes:     agg.probes,
-				ExactURLs:  sortedCounts(agg.urls),
-				Domains:    sortedCounts(agg.domains),
-				Unresolved: agg.unresolved,
-				New:        firstSeen[c] == d,
-			}
-			dr.Cookies = append(dr.Cookies, cd)
-			if cd.New {
-				dr.NewCookies = append(dr.NewCookies, c)
-			}
-		}
-		for c := range l.days[d-1] {
-			if _, active := cookies[c]; !active {
-				dr.VanishedCookies = append(dr.VanishedCookies, c)
-			}
-		}
-		sort.Strings(dr.VanishedCookies)
-		rep.Days = append(rep.Days, dr)
-
-		if d > first {
-			// Link candidates: cookies gone for good against cookies
-			// just born. The descriptive VanishedCookies list is wider
-			// (it includes users who merely skipped a day).
-			var retired []string
-			for _, c := range dr.VanishedCookies {
-				if lastSeen[c] == d-1 {
-					retired = append(retired, c)
-				}
-			}
-			rep.Links = append(rep.Links, l.linkDay(d, retired, dr.NewCookies)...)
-		}
-	}
-	rep.Chains = buildChains(rep.Links)
-	return rep
-}
-
-// linkDay matches the cookies that retired going into day d against
-// the cookies that appeared on day d, comparing the retired cookie's
-// previous-day profile with the new cookie's day-d profile. Matching
-// is greedy — best-evidenced pair first, each cookie claimed at most
-// once; ties break lexicographically, keeping the report
-// deterministic. The caller holds l.mu.
-func (l *Longitudinal) linkDay(d int64, vanished, appeared []string) []CookieLink {
-	var cands []CookieLink
-	for _, v := range vanished {
-		prevURLs, prevDoms := l.days[d-1][v].profile()
-		if len(prevURLs)+len(prevDoms) == 0 {
-			continue
-		}
-		for _, a := range appeared {
-			curURLs, curDoms := l.days[d][a].profile()
-			cur := len(curURLs) + len(curDoms)
-			if cur == 0 {
-				continue
-			}
-			sharedURLs := intersect(prevURLs, curURLs)
-			shared := sharedURLs + intersect(prevDoms, curDoms)
-			if shared < l.cfg.MinShared || sharedURLs < l.cfg.MinSharedURLs {
-				continue
-			}
-			smaller := len(prevURLs) + len(prevDoms)
-			if cur < smaller {
-				smaller = cur
-			}
-			score := float64(shared) / float64(smaller)
-			if score < l.cfg.MinLinkScore {
-				continue
-			}
-			cands = append(cands, CookieLink{
-				Date: dayDate(d), From: v, To: a,
-				Shared: shared, SharedURLs: sharedURLs, Score: score,
-			})
-		}
-	}
-	// Rank by the volume of shared evidence first — exact URLs before
-	// totals — and score last: two tiny profiles agreeing perfectly
-	// (2/2) is weaker evidence than two rich profiles agreeing well
-	// (6/8), and small-profile perfect scores are exactly what
-	// coincidences look like.
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		if a.SharedURLs != b.SharedURLs {
-			return a.SharedURLs > b.SharedURLs
-		}
-		if a.Shared != b.Shared {
-			return a.Shared > b.Shared
-		}
-		if a.Score != b.Score {
-			return a.Score > b.Score
-		}
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		return a.To < b.To
-	})
-	usedFrom := make(map[string]bool)
-	usedTo := make(map[string]bool)
-	var out []CookieLink
-	for _, c := range cands {
-		if usedFrom[c.From] || usedTo[c.To] {
-			continue
-		}
-		usedFrom[c.From] = true
-		usedTo[c.To] = true
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
-	return out
+	return BuildLongitudinalReport(l.days, l.cfg)
 }
 
 // buildChains follows the accepted links transitively: each chain is

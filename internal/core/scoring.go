@@ -1,0 +1,333 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"sbprivacy/internal/urlx"
+)
+
+// This file holds the scoring cores shared by the batch sinks
+// (Analyzer, Longitudinal) and the streaming stages of internal/stream:
+// the per-cookie re-identification tally, the per-(day, cookie) profile
+// tally, and the deterministic report builders over either. The batch
+// sinks keep their external behavior; the streaming stages hold the
+// same tallies in windowed, evictable state and call the same builders
+// over whatever is resident — which is what makes a streaming snapshot
+// deep-equal a batch run restricted to the same window.
+
+// ClientTally is the per-cookie re-identification tally: how one
+// cookie's probes resolved against the web index. It is the scoring
+// core of Analyzer, also held per (day, cookie) by the streaming
+// reident stage so expired days can be evicted. Tallies are additive:
+// merging the per-day tallies of a window reproduces exactly the tally
+// a single batch pass over the window's probes would have built.
+// Not safe for concurrent use; callers hold their own lock.
+type ClientTally struct {
+	probes    int
+	prefixes  int
+	exact     map[string]int
+	domains   map[string]int
+	ambiguous int
+	unknown   int
+}
+
+// NewClientTally returns an empty tally.
+func NewClientTally() *ClientTally {
+	return &ClientTally{exact: make(map[string]int), domains: make(map[string]int)}
+}
+
+// Observe files one probe's re-identification outcome: an exact URL, a
+// common registrable domain, an ambiguous candidate set, or nothing the
+// index explains. prefixes is the probe's prefix count.
+func (t *ClientTally) Observe(r Reidentification, prefixes int) {
+	t.probes++
+	t.prefixes += prefixes
+	switch {
+	case r.Exact:
+		t.exact[r.Candidates[0]]++
+	case r.CommonDomain != "":
+		t.domains[r.CommonDomain]++
+	case len(r.Candidates) > 0:
+		t.ambiguous++
+	default:
+		t.unknown++
+	}
+}
+
+// MergeFrom adds o's counts into t. Merging is commutative and
+// associative, so any merge order over the same tallies produces the
+// same result.
+func (t *ClientTally) MergeFrom(o *ClientTally) {
+	t.probes += o.probes
+	t.prefixes += o.prefixes
+	for u, n := range o.exact {
+		t.exact[u] += n
+	}
+	for d, n := range o.domains {
+		t.domains[d] += n
+	}
+	t.ambiguous += o.ambiguous
+	t.unknown += o.unknown
+}
+
+// Probes returns the number of probes tallied — the record count a
+// streaming stage charges to its eviction counters when the tally is
+// discarded.
+func (t *ClientTally) Probes() int { return t.probes }
+
+// Report renders the tally as the per-client report entry.
+func (t *ClientTally) Report(clientID string) ClientReport {
+	return ClientReport{
+		ClientID:  clientID,
+		Probes:    t.probes,
+		Prefixes:  t.prefixes,
+		ExactURLs: sortedCounts(t.exact),
+		Domains:   sortedCounts(t.domains),
+		Ambiguous: t.ambiguous,
+		Unknown:   t.unknown,
+	}
+}
+
+// BuildClientReport renders a cookie→tally map as the analyzer's
+// deterministic report: one entry per cookie, sorted by cookie. Both
+// the batch Analyzer and the streaming reident stage end on this.
+func BuildClientReport(clients map[string]*ClientTally) *Report {
+	rep := &Report{Clients: make([]ClientReport, 0, len(clients))}
+	for id, t := range clients {
+		rep.Clients = append(rep.Clients, t.Report(id))
+	}
+	sort.Slice(rep.Clients, func(i, j int) bool {
+		return rep.Clients[i].ClientID < rep.Clients[j].ClientID
+	})
+	return rep
+}
+
+// DayTally is one cookie's re-identified activity within one UTC
+// calendar day: the scoring core of Longitudinal, also the unit of
+// windowed state in the streaming linkage stage. Not safe for
+// concurrent use; callers hold their own lock.
+type DayTally struct {
+	probes     int
+	urls       map[string]int
+	domains    map[string]int
+	unresolved int
+}
+
+// NewDayTally returns an empty tally.
+func NewDayTally() *DayTally {
+	return &DayTally{urls: make(map[string]int), domains: make(map[string]int)}
+}
+
+// Observe files one probe's re-identification outcome into the day
+// profile: exact URLs count toward their registrable domain too, so a
+// personal page strengthens both the page and the site evidence.
+func (t *DayTally) Observe(r Reidentification) {
+	t.probes++
+	switch {
+	case r.Exact:
+		u := r.Candidates[0]
+		t.urls[u]++
+		t.domains[urlx.RegisteredDomain(urlx.HostOf(u))]++
+	case r.CommonDomain != "":
+		t.domains[r.CommonDomain]++
+	default:
+		t.unresolved++
+	}
+}
+
+// Probes returns the number of probes tallied (see ClientTally.Probes).
+func (t *DayTally) Probes() int { return t.probes }
+
+// profile returns the tally's identity fingerprint: the distinct
+// re-identified exact URLs and the distinct registrable domains. Exact
+// pages are what distinguish two clients sharing the same popular
+// sites, so linkage weighs them separately.
+func (t *DayTally) profile() (urls, domains map[string]bool) {
+	urls = make(map[string]bool, len(t.urls))
+	for u := range t.urls {
+		urls[u] = true
+	}
+	domains = make(map[string]bool, len(t.domains))
+	for d := range t.domains {
+		domains[d] = true
+	}
+	return urls, domains
+}
+
+// UnixDay maps a time to its UTC calendar day number (days since the
+// Unix epoch, floored — correct for pre-1970 times too). It is the day
+// key shared by the batch Longitudinal and every windowed streaming
+// stage, so both sides bucket and evict on identical boundaries.
+func UnixDay(t time.Time) int64 {
+	sec := t.Unix()
+	day := sec / 86400
+	if sec%86400 < 0 {
+		day--
+	}
+	return day
+}
+
+// DayDate renders a unix day number as its UTC date ("2006-01-02").
+func DayDate(day int64) string {
+	return time.Unix(day*86400, 0).UTC().Format("2006-01-02")
+}
+
+// BuildLongitudinalReport builds the day-over-day report from
+// (day → cookie → tally) state: per-day activity with new/vanished
+// cookies, greedy day-over-day linkage under cfg's thresholds, and the
+// transitive identity chains. It is a pure deterministic function of
+// the state passed in — the batch Longitudinal calls it over
+// everything it retained, a windowed streaming stage over whatever
+// days survived eviction, and equal state yields deeply equal reports.
+func BuildLongitudinalReport(days map[int64]map[string]*DayTally, cfg LongitudinalConfig) *LongitudinalReport {
+	cfg = cfg.withDefaults()
+	rep := &LongitudinalReport{}
+	if len(days) == 0 {
+		return rep
+	}
+	dayKeys := make([]int64, 0, len(days))
+	for d := range days {
+		dayKeys = append(dayKeys, d)
+	}
+	sort.Slice(dayKeys, func(i, j int) bool { return dayKeys[i] < dayKeys[j] })
+	first, last := dayKeys[0], dayKeys[len(dayKeys)-1]
+
+	// First- and last-seen days per cookie decide New and link
+	// eligibility. This is a retrospective analysis over the retained
+	// window, so it may look ahead: a cookie only counts as a churn
+	// candidate if it appeared (first seen) or disappeared (last seen)
+	// for good — a light user skipping a day and returning under its
+	// stable cookie is neither.
+	firstSeen := make(map[string]int64)
+	lastSeen := make(map[string]int64)
+	for _, d := range dayKeys {
+		for c := range days[d] {
+			if _, seen := firstSeen[c]; !seen {
+				firstSeen[c] = d
+			}
+			lastSeen[c] = d
+		}
+	}
+
+	for d := first; d <= last; d++ {
+		dr := DayReport{Date: DayDate(d), Day: int(d - first)}
+		cookies := days[d]
+		names := make([]string, 0, len(cookies))
+		for c := range cookies {
+			names = append(names, c)
+		}
+		sort.Strings(names)
+		for _, c := range names {
+			agg := cookies[c]
+			cd := CookieDay{
+				Cookie:     c,
+				Probes:     agg.probes,
+				ExactURLs:  sortedCounts(agg.urls),
+				Domains:    sortedCounts(agg.domains),
+				Unresolved: agg.unresolved,
+				New:        firstSeen[c] == d,
+			}
+			dr.Cookies = append(dr.Cookies, cd)
+			if cd.New {
+				dr.NewCookies = append(dr.NewCookies, c)
+			}
+		}
+		for c := range days[d-1] {
+			if _, active := cookies[c]; !active {
+				dr.VanishedCookies = append(dr.VanishedCookies, c)
+			}
+		}
+		sort.Strings(dr.VanishedCookies)
+		rep.Days = append(rep.Days, dr)
+
+		if d > first {
+			// Link candidates: cookies gone for good against cookies
+			// just born. The descriptive VanishedCookies list is wider
+			// (it includes users who merely skipped a day).
+			var retired []string
+			for _, c := range dr.VanishedCookies {
+				if lastSeen[c] == d-1 {
+					retired = append(retired, c)
+				}
+			}
+			rep.Links = append(rep.Links, linkDay(days, cfg, d, retired, dr.NewCookies)...)
+		}
+	}
+	rep.Chains = buildChains(rep.Links)
+	return rep
+}
+
+// linkDay matches the cookies that retired going into day d against
+// the cookies that appeared on day d, comparing the retired cookie's
+// previous-day profile with the new cookie's day-d profile. Matching
+// is greedy — best-evidenced pair first, each cookie claimed at most
+// once; ties break lexicographically, keeping the report
+// deterministic.
+func linkDay(days map[int64]map[string]*DayTally, cfg LongitudinalConfig, d int64, vanished, appeared []string) []CookieLink {
+	var cands []CookieLink
+	for _, v := range vanished {
+		prevURLs, prevDoms := days[d-1][v].profile()
+		if len(prevURLs)+len(prevDoms) == 0 {
+			continue
+		}
+		for _, a := range appeared {
+			curURLs, curDoms := days[d][a].profile()
+			cur := len(curURLs) + len(curDoms)
+			if cur == 0 {
+				continue
+			}
+			sharedURLs := intersect(prevURLs, curURLs)
+			shared := sharedURLs + intersect(prevDoms, curDoms)
+			if shared < cfg.MinShared || sharedURLs < cfg.MinSharedURLs {
+				continue
+			}
+			smaller := len(prevURLs) + len(prevDoms)
+			if cur < smaller {
+				smaller = cur
+			}
+			score := float64(shared) / float64(smaller)
+			if score < cfg.MinLinkScore {
+				continue
+			}
+			cands = append(cands, CookieLink{
+				Date: DayDate(d), From: v, To: a,
+				Shared: shared, SharedURLs: sharedURLs, Score: score,
+			})
+		}
+	}
+	// Rank by the volume of shared evidence first — exact URLs before
+	// totals — and score last: two tiny profiles agreeing perfectly
+	// (2/2) is weaker evidence than two rich profiles agreeing well
+	// (6/8), and small-profile perfect scores are exactly what
+	// coincidences look like.
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.SharedURLs != b.SharedURLs {
+			return a.SharedURLs > b.SharedURLs
+		}
+		if a.Shared != b.Shared {
+			return a.Shared > b.Shared
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	usedFrom := make(map[string]bool)
+	usedTo := make(map[string]bool)
+	var out []CookieLink
+	for _, c := range cands {
+		if usedFrom[c.From] || usedTo[c.To] {
+			continue
+		}
+		usedFrom[c.From] = true
+		usedTo[c.To] = true
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}

@@ -1,0 +1,32 @@
+package stream
+
+import (
+	"context"
+
+	"sbprivacy/internal/probestore"
+	"sbprivacy/internal/sbserver"
+)
+
+// Replay drives a pipeline from a sealed (or quiescent) store: every
+// persisted probe is delivered in segment order. This is the batch
+// entry point — after it returns, the pipeline's snapshot is the final
+// report over the store's probes.
+func Replay(store *probestore.Store, pl *Pipeline) error {
+	return store.Replay(func(p sbserver.Probe) error {
+		pl.Observe(p)
+		return nil
+	})
+}
+
+// Follow drives a pipeline from a live store directory, tailing it
+// like `tail -f`: all persisted history first, then probes as the
+// serving process spills them, until ctx is cancelled (clean stop,
+// returns nil). The store must be opened read-only; see
+// probestore.Store.Follow for resync semantics and options
+// (probestore.WithFollowPoll tunes the idle poll).
+func Follow(ctx context.Context, store *probestore.Store, pl *Pipeline, opts ...probestore.FollowOption) error {
+	return store.Follow(ctx, func(p sbserver.Probe) error {
+		pl.Observe(p)
+		return nil
+	}, opts...)
+}

@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validBenchReport() *BenchReport {
+	return &BenchReport{
+		Schema: BenchSchema,
+		Config: BenchConfig{Clients: 1000, Days: 7, Seed: 1, WindowDays: 7},
+		Stages: []string{"reident", "linkage"},
+		Probes: 50000, DurationSeconds: 1.25, ProbesPerSec: 40000,
+		PeakResidentCookies: 1000, PeakResidentDays: 7,
+		EvictedRecords: 12000, LateDropped: 0,
+	}
+}
+
+// TestBenchReportRoundTrip: write → read must be lossless, and the file
+// must carry the schema tag first-class so tooling can dispatch on it.
+func TestBenchReportRoundTrip(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "BENCH_stream.json")
+	want := validBenchReport()
+	if err := want.WriteBenchFile(path); err != nil {
+		t.Fatalf("WriteBenchFile: %v", err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatalf("ReadBenchFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed the report:\ngot  %+v\nwant %+v", got, want)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read raw: %v", err)
+	}
+	if !strings.Contains(string(raw), `"schema": "`+BenchSchema+`"`) {
+		t.Errorf("file does not carry the schema tag:\n%s", raw)
+	}
+}
+
+// TestBenchReportRejectsUnknownFields: schema drift between writer and
+// reader must fail loudly, not silently zero-fill.
+func TestBenchReportRejectsUnknownFields(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "BENCH_stream.json")
+	data := `{"schema":"` + BenchSchema + `","config":{"clients":1,"days":1,"seed":0,"window_days":0},` +
+		`"stages":["reident"],"probes":1,"duration_seconds":1,"probes_per_sec":1,` +
+		`"peak_resident_cookies":1,"peak_resident_days":1,"evicted_records":0,"late_dropped":0,` +
+		`"surprise_field":42}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := ReadBenchFile(path); err == nil || !strings.Contains(err.Error(), "surprise_field") {
+		t.Errorf("unknown field not rejected: err = %v", err)
+	}
+}
+
+// TestBenchReportValidate enumerates the invariants a report must hold;
+// WriteBenchFile must refuse to persist a report that violates them.
+func TestBenchReportValidate(t *testing.T) {
+	t.Parallel()
+	breaks := map[string]func(*BenchReport){
+		"wrong schema":          func(r *BenchReport) { r.Schema = "sbprivacy/stream/v0" },
+		"zero clients":          func(r *BenchReport) { r.Config.Clients = 0 },
+		"zero days":             func(r *BenchReport) { r.Config.Days = 0 },
+		"negative window":       func(r *BenchReport) { r.Config.WindowDays = -1 },
+		"no stages":             func(r *BenchReport) { r.Stages = nil },
+		"zero probes":           func(r *BenchReport) { r.Probes = 0 },
+		"zero duration":         func(r *BenchReport) { r.DurationSeconds = 0 },
+		"zero rate":             func(r *BenchReport) { r.ProbesPerSec = 0 },
+		"zero peak cookies":     func(r *BenchReport) { r.PeakResidentCookies = 0 },
+		"zero peak days":        func(r *BenchReport) { r.PeakResidentDays = 0 },
+		"peak days over window": func(r *BenchReport) { r.PeakResidentDays = r.Config.WindowDays + 1 },
+		"negative evictions":    func(r *BenchReport) { r.EvictedRecords = -1 },
+		"negative late drops":   func(r *BenchReport) { r.LateDropped = -1 },
+	}
+	if err := validBenchReport().Validate(); err != nil {
+		t.Fatalf("baseline report invalid: %v", err)
+	}
+	for name, mutate := range breaks {
+		r := validBenchReport()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken report", name)
+		}
+		if err := r.WriteBenchFile(filepath.Join(t.TempDir(), "BENCH_stream.json")); err == nil {
+			t.Errorf("%s: WriteBenchFile persisted a broken report", name)
+		}
+	}
+}

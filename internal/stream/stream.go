@@ -1,0 +1,160 @@
+//sbcheck:deterministic
+
+// Package stream is the incremental analysis pipeline: it scores a
+// probe feed at ingest speed with bounded memory, instead of buffering
+// everything and reporting at the end the way the batch sinks
+// (core.Analyzer, core.Longitudinal) do.
+//
+// Analyzers are stages. A Stage consumes probes one at a time
+// (Observe), tracks a virtual-time watermark (Advance), and can render
+// its current conclusions at any moment (Snapshot). State is keyed by
+// UTC calendar day and bounded by a sliding window of W days: when the
+// watermark enters a new day, every day older than the window horizon
+// is evicted — deterministically, so two same-seed runs over the same
+// probe feed hold identical resident state and produce identical
+// snapshots, including past the horizon. Each stage accounts for its
+// own resident state (Stats.ResidentCookies, ResidentDays,
+// EvictedRecords), which is what lets a dashboard prove the memory
+// bound instead of asserting it.
+//
+// A Pipeline fans one probe feed into N stages and implements
+// sbserver.ProbeSink, so the same pipeline is drivable from three
+// sources: subscribed live to a serving sbserver, batch over a sealed
+// store via Replay, or tailing a live store via Follow. The
+// correctness anchor: on a sealed store, a streaming pipeline's final
+// snapshot deep-equals the batch analyzers' reports over the same
+// window — the scoring cores (core.ClientTally, core.DayTally,
+// core.BuildClientReport, core.BuildLongitudinalReport) are shared, so
+// the two paths cannot drift apart.
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"sbprivacy/internal/sbserver"
+)
+
+// Report is a stage's point-in-time output. Concrete stages return
+// their domain report (e.g. *core.Report, *core.LongitudinalReport);
+// String renders it the way the batch tools print it, which is what
+// makes a streamed snapshot textually comparable to a batch run.
+type Report interface {
+	String() string
+}
+
+// Stats is one stage's state-size accounting: the evidence that the
+// windowed state is actually bounded. All counters are cumulative
+// except the Resident* gauges, which describe the state held right
+// now.
+type Stats struct {
+	// Observed counts probes tallied into resident state.
+	Observed int64
+	// LateDropped counts probes rejected on arrival because their day
+	// had already been evicted (older than the window horizon at the
+	// time they arrived). A serialized feed in virtual-time order never
+	// drops anything.
+	LateDropped int64
+	// ResidentCookies is the number of distinct client cookies with at
+	// least one resident day tally.
+	ResidentCookies int
+	// ResidentDays is the number of day buckets currently resident;
+	// bounded by the configured window.
+	ResidentDays int
+	// EvictedRecords counts probes whose tallies have been discarded by
+	// day eviction since the stage started.
+	EvictedRecords int64
+}
+
+// Stage is one incremental analyzer in a pipeline. Implementations
+// must be safe for concurrent use: Observe/Advance arrive from the
+// feeding goroutine while Snapshot/Stats are called from a dashboard.
+// Deterministic snapshots additionally require a serialized feed (a
+// campaign run, a Replay, or a Follow tail — all of which deliver
+// probes one at a time in stored order).
+type Stage interface {
+	// Name identifies the stage in dashboards and snapshots.
+	Name() string
+	// Observe tallies one probe into the stage's windowed state. A
+	// probe whose day already fell past the eviction horizon is counted
+	// as late and otherwise ignored.
+	Observe(p sbserver.Probe)
+	// Advance moves the stage's virtual-time watermark to t (monotonic:
+	// an older t is a no-op) and evicts every day bucket that fell out
+	// of the window. The pipeline calls it with each probe's timestamp
+	// before the probe is tallied.
+	Advance(t time.Time)
+	// Snapshot renders the stage's conclusions over its resident state.
+	// It is a pure function of that state: equal resident state yields
+	// deeply equal reports.
+	Snapshot() Report
+	// Stats reports the stage's resident-state accounting.
+	Stats() Stats
+}
+
+// Pipeline fans one probe feed into N stages. It implements
+// sbserver.ProbeSink, so it can subscribe to a live server exactly
+// like the batch sinks do; Replay and Follow drive it from a store.
+type Pipeline struct {
+	stages   []Stage
+	mu       sync.Mutex
+	observed int64
+}
+
+var _ sbserver.ProbeSink = (*Pipeline)(nil)
+
+// NewPipeline builds a pipeline over the given stages.
+func NewPipeline(stages ...Stage) *Pipeline {
+	return &Pipeline{stages: stages}
+}
+
+// Observe implements sbserver.ProbeSink: the probe's timestamp first
+// advances every stage's watermark (evicting expired state), then the
+// probe is tallied by every stage. Stages are themselves concurrency-
+// safe; the pipeline's own lock only protects its probe counter and
+// keeps one probe's advance-then-observe pair adjacent per stage under
+// a serialized feed.
+func (pl *Pipeline) Observe(p sbserver.Probe) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.observed++
+	for _, s := range pl.stages {
+		s.Advance(p.Time)
+		s.Observe(p)
+	}
+}
+
+// Observed returns the number of probes fanned out so far.
+func (pl *Pipeline) Observed() int64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.observed
+}
+
+// Stages returns the pipeline's stages in fan-out order (shared slice;
+// do not mutate).
+func (pl *Pipeline) Stages() []Stage { return pl.stages }
+
+// StageSnapshot pairs one stage's report with its state accounting —
+// one dashboard panel.
+type StageSnapshot struct {
+	// Name is the stage's name.
+	Name string
+	// Report is the stage's current conclusions.
+	Report Report
+	// Stats is the stage's resident-state accounting at snapshot time.
+	Stats Stats
+}
+
+// Snapshot captures every stage's report and stats, in fan-out order.
+// Each stage snapshots atomically with respect to its own Observe;
+// under a serialized feed the whole capture is one consistent frame.
+func (pl *Pipeline) Snapshot() []StageSnapshot {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	out := make([]StageSnapshot, len(pl.stages))
+	for i, s := range pl.stages {
+		out[i] = StageSnapshot{Name: s.Name(), Report: s.Snapshot(), Stats: s.Stats()}
+	}
+	return out
+}

@@ -45,6 +45,7 @@ import (
 	"sbprivacy/internal/probestore"
 	"sbprivacy/internal/sbclient"
 	"sbprivacy/internal/sbserver"
+	"sbprivacy/internal/stream"
 	"sbprivacy/internal/urlx"
 	"sbprivacy/internal/workload"
 )
@@ -279,6 +280,49 @@ type (
 // NewLongitudinal builds a day-over-day correlator over a web index;
 // feed it live (Subscribe) or from a replayed probe store.
 var NewLongitudinal = core.NewLongitudinal
+
+// Streaming analysis pipeline (bounded-memory analysis at ingest
+// speed: the batch scoring cores behind windowed, evicting stages).
+type (
+	// StreamStage is one incremental analyzer in a pipeline.
+	StreamStage = stream.Stage
+	// StreamPipeline fans one probe feed into its stages; it is a
+	// ProbeSink, so it plugs into a live server, a replay, or a tail.
+	StreamPipeline = stream.Pipeline
+	// StreamStats is a stage's bounded-memory accounting.
+	StreamStats = stream.Stats
+	// StreamStageSnapshot pairs a stage's report with its accounting.
+	StreamStageSnapshot = stream.StageSnapshot
+	// ReidentStage is the windowed streaming form of the ProbeAnalyzer.
+	ReidentStage = stream.ReidentStage
+	// LinkageStage is the windowed streaming form of the Longitudinal
+	// correlator.
+	LinkageStage = stream.LinkageStage
+	// StreamBenchReport is the BENCH_stream.json streaming benchmark
+	// record.
+	StreamBenchReport = stream.BenchReport
+	// StreamBenchConfig echoes a streaming benchmark's configuration.
+	StreamBenchConfig = stream.BenchConfig
+)
+
+// StreamBenchSchema identifies the BENCH_stream.json layout.
+const StreamBenchSchema = stream.BenchSchema
+
+// Streaming pipeline constructors and drivers.
+var (
+	// NewStreamPipeline builds a pipeline over the given stages.
+	NewStreamPipeline = stream.NewPipeline
+	// NewReidentStage builds a windowed re-identification stage.
+	NewReidentStage = stream.NewReidentStage
+	// NewLinkageStage builds a windowed day-over-day linkage stage.
+	NewLinkageStage = stream.NewLinkageStage
+	// StreamReplay drives a pipeline from a sealed probe store.
+	StreamReplay = stream.Replay
+	// StreamFollow tails a live store directory into a pipeline.
+	StreamFollow = stream.Follow
+	// ReadStreamBenchFile reads and validates a BENCH_stream.json.
+	ReadStreamBenchFile = stream.ReadBenchFile
+)
 
 // Experiment harness types.
 type (

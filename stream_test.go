@@ -1,0 +1,117 @@
+package sbprivacy_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"sbprivacy"
+)
+
+// TestStreamingMatchesBatchOnSealedStore is the PR's correctness
+// anchor: over a sealed, seeded campaign store, the streaming
+// pipeline's final snapshot must deep-equal the batch analyzers'
+// reports for the same window, and two same-seed streaming runs must
+// snapshot identically even past the eviction horizon.
+func TestStreamingMatchesBatchOnSealedStore(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const days = 5
+	camp, err := sbprivacy.GenerateCampaign(sbprivacy.CampaignConfig{
+		Days: days, Clients: 30, Sites: 20, Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("GenerateCampaign: %v", err)
+	}
+
+	dir := t.TempDir()
+	store, err := sbprivacy.OpenProbeStore(dir,
+		sbprivacy.WithMaxSegmentBytes(8192)) // several segments
+	if err != nil {
+		t.Fatalf("OpenProbeStore: %v", err)
+	}
+	if _, err := camp.Run(ctx, store); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("store.Close: %v", err)
+	}
+
+	urls := camp.IndexExpressions()
+
+	// replayStream replays the sealed store through a fresh windowed
+	// pipeline and returns its snapshot.
+	replayStream := func(window int) []sbprivacy.StreamStageSnapshot {
+		ro, err := sbprivacy.OpenProbeStore(dir, sbprivacy.ProbeStoreReadOnly())
+		if err != nil {
+			t.Fatalf("reopen read-only: %v", err)
+		}
+		defer func() {
+			if err := ro.Close(); err != nil {
+				t.Errorf("close read-only: %v", err)
+			}
+		}()
+		x := sbprivacy.NewIndex(urls)
+		pl := sbprivacy.NewStreamPipeline(
+			sbprivacy.NewReidentStage(x, window),
+			sbprivacy.NewLinkageStage(x, sbprivacy.LongitudinalConfig{}, window),
+		)
+		if err := sbprivacy.StreamReplay(ro, pl); err != nil {
+			t.Fatalf("StreamReplay: %v", err)
+		}
+		return pl.Snapshot()
+	}
+
+	// Unbounded window: the streaming snapshot must deep-equal the batch
+	// sinks replaying the same store.
+	ro, err := sbprivacy.OpenProbeStore(dir, sbprivacy.ProbeStoreReadOnly())
+	if err != nil {
+		t.Fatalf("reopen read-only: %v", err)
+	}
+	x := sbprivacy.NewIndex(urls)
+	analyzer := sbprivacy.NewProbeAnalyzer(x)
+	long := sbprivacy.NewLongitudinal(x, sbprivacy.LongitudinalConfig{})
+	if err := ro.Replay(func(p sbprivacy.Probe) error {
+		analyzer.Observe(p)
+		long.Observe(p)
+		return nil
+	}); err != nil {
+		t.Fatalf("batch replay: %v", err)
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatalf("close read-only: %v", err)
+	}
+
+	full := replayStream(0)
+	if len(full) != 2 {
+		t.Fatalf("got %d stage snapshots, want 2", len(full))
+	}
+	if got, want := full[0].Report, analyzer.Report(); !reflect.DeepEqual(got, want) {
+		t.Errorf("streaming reident diverges from batch analyzer:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := full[1].Report, long.Report(); !reflect.DeepEqual(got, want) {
+		t.Errorf("streaming linkage diverges from batch longitudinal:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Windowed, past the eviction horizon: two same-seed runs must agree
+	// exactly, and the state the window kept must have been bounded.
+	const window = 2
+	runA := replayStream(window)
+	runB := replayStream(window)
+	if !reflect.DeepEqual(runA, runB) {
+		t.Errorf("same-seed windowed snapshots diverge:\n%+v\nvs\n%+v", runA, runB)
+	}
+	for _, s := range runA {
+		if s.Stats.EvictedRecords == 0 {
+			t.Errorf("stage %q evicted nothing over %d days with a %d-day window: %+v",
+				s.Name, days, window, s.Stats)
+		}
+		if s.Stats.ResidentDays > window {
+			t.Errorf("stage %q ResidentDays = %d exceeds window %d",
+				s.Name, s.Stats.ResidentDays, window)
+		}
+	}
+}
